@@ -1,0 +1,37 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Each benchmark regenerates one paper table/figure through
+``repro.harness.run_experiment`` and asserts the *shape* of the result:
+who wins, rough factors, crossovers. Absolute numbers are expected to
+deviate (the substrate is a Python simulator, not the authors' testbed);
+EXPERIMENTS.md records paper-vs-measured for every metric.
+"""
+
+import pytest
+
+
+def run_once(benchmark, exp_id):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    from repro.harness import run_experiment
+    return benchmark.pedantic(run_experiment, args=(exp_id,),
+                              rounds=1, iterations=1)
+
+
+def measured(experiment, metric):
+    return experiment.summary[metric][1]
+
+
+def within(experiment, metric, rel):
+    """Measured value within a relative band of the paper's value."""
+    paper, got = experiment.summary[metric]
+    assert paper, f"{metric}: paper value is zero"
+    ratio = got / paper
+    assert 1 / (1 + rel) <= ratio <= 1 + rel, (
+        f"{metric}: paper={paper} measured={got} (ratio {ratio:.2f})")
+
+
+@pytest.fixture
+def exp(benchmark):
+    def runner(exp_id):
+        return run_once(benchmark, exp_id)
+    return runner

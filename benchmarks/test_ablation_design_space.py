@@ -1,0 +1,22 @@
+"""Ablation: GeneSys-style design-space exploration (lanes x buffers)."""
+
+from repro.analysis import pareto_frontier, sweep
+
+
+def _explore():
+    results = sweep("efficientnet", lanes=(16, 32, 64),
+                    interim_buf_kb=(32, 64))
+    return results, pareto_frontier(results)
+
+
+def test_design_space(benchmark):
+    results, frontier = benchmark.pedantic(_explore, rounds=1, iterations=1)
+    assert len(results) == 6
+    assert 1 <= len(frontier) <= len(results)
+    # The Table 3 point (32 lanes / 64 KB) is never dominated by a
+    # smaller configuration on this non-GEMM-heavy model.
+    table3 = next(r for r in results
+                  if r.point.lanes == 32 and r.point.interim_buf_kb == 64)
+    smaller = next(r for r in results
+                   if r.point.lanes == 16 and r.point.interim_buf_kb == 32)
+    assert table3.seconds <= smaller.seconds

@@ -1,0 +1,30 @@
+"""Ablation: fixed-point precision of the integer operator recipes."""
+
+import math
+
+import numpy as np
+
+from repro.compiler import from_fixed, i_gelu, i_sigmoid, to_fixed
+
+
+def _sweep():
+    xs = np.linspace(-4, 4, 400)
+    gelu_ref = xs * 0.5 * (1 + np.vectorize(math.erf)(xs / math.sqrt(2)))
+    sig_ref = 1 / (1 + np.exp(-xs))
+    errors = {}
+    for bits in (6, 8, 10, 12, 14):
+        g = from_fixed(i_gelu(to_fixed(xs, bits), bits), bits)
+        s = from_fixed(i_sigmoid(to_fixed(xs, bits), bits), bits)
+        errors[bits] = {
+            "gelu": float(np.max(np.abs(g - gelu_ref))),
+            "sigmoid": float(np.max(np.abs(s - sig_ref))),
+        }
+    return errors
+
+
+def test_precision_sweep(benchmark):
+    errors = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # Error shrinks monotonically-ish with precision and is small at Q12+.
+    assert errors[6]["sigmoid"] > errors[12]["sigmoid"]
+    assert errors[12]["gelu"] < 0.03
+    assert errors[14]["sigmoid"] < 0.01

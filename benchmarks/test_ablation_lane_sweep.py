@@ -1,0 +1,33 @@
+"""Ablation: SIMD lane count sweep (beyond the paper's fixed 32 lanes)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.npu import NPUTandem, table3_config
+from repro.simulator.params import SimParams
+
+
+def _config_with_lanes(lanes):
+    base = table3_config()
+    tandem = replace(base.sim.tandem, lanes=lanes)
+    return replace(base, sim=SimParams(tandem=tandem, dram=base.sim.dram,
+                                       energy=base.sim.energy,
+                                       overlay=base.sim.overlay))
+
+
+def _sweep():
+    results = {}
+    for lanes in (8, 16, 32, 64):
+        npu = NPUTandem(_config_with_lanes(lanes))
+        results[lanes] = npu.evaluate("mobilenetv2").total_seconds
+    return results
+
+
+def test_lane_sweep(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # More lanes -> faster non-GEMM execution, with diminishing returns.
+    assert results[8] > results[16] > results[32]
+    gain_8_16 = results[8] / results[16]
+    gain_32_64 = results[32] / results[64]
+    assert gain_8_16 > gain_32_64

@@ -1,0 +1,34 @@
+"""Ablation: Interim BUF capacity vs achievable tiling."""
+
+from dataclasses import replace
+
+from repro.npu import NPUTandem, table3_config
+from repro.simulator.params import SimParams
+
+
+def _config_with_buf(kb):
+    base = table3_config()
+    tandem = replace(base.sim.tandem, interim_buf_kb=kb)
+    return replace(base, sim=SimParams(tandem=tandem, dram=base.sim.dram,
+                                       energy=base.sim.energy,
+                                       overlay=base.sim.overlay))
+
+
+def _sweep():
+    out = {}
+    for kb in (16, 64, 256):
+        npu = NPUTandem(_config_with_buf(kb))
+        model = npu.compile("resnet50")
+        out[kb] = {
+            "max_tiles": max(cb.tiles for cb in model.blocks),
+            "seconds": npu.evaluate(model).total_seconds,
+        }
+    return out
+
+
+def test_scratchpad_sweep(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # Smaller buffers force more tiles; performance never improves by
+    # shrinking the scratchpads.
+    assert results[16]["max_tiles"] >= results[256]["max_tiles"]
+    assert results[16]["seconds"] >= results[256]["seconds"] * 0.95

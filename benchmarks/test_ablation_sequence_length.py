@@ -1,0 +1,32 @@
+"""Ablation: non-GEMM share vs transformer sequence length.
+
+Attention's softmax/transpose work grows O(S^2) while projection GEMMs
+grow O(S) — the "emerging operators" pressure the paper argues will only
+increase. Sweeps BERT's sequence length and tracks the Tandem share.
+"""
+
+from repro.compiler import compile_model
+from repro.models.bert import build_bert
+from repro.npu import NPUTandem
+
+
+def _sweep():
+    npu = NPUTandem()
+    out = {}
+    for seq in (64, 128, 256):
+        graph = build_bert(seq=seq, layers=4)
+        result = npu.evaluate(compile_model(graph))
+        busy = result.gemm_seconds + result.nongemm_seconds
+        out[seq] = {
+            "seconds": result.total_seconds,
+            "nongemm_share": result.nongemm_seconds / busy,
+            "softmax_seconds": result.per_op_seconds.get("Softmax", 0.0),
+        }
+    return out
+
+
+def test_sequence_length_sweep(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # Longer contexts spend relatively more on the attention non-GEMMs.
+    assert results[256]["softmax_seconds"] > 4 * results[64]["softmax_seconds"]
+    assert results[256]["seconds"] > results[64]["seconds"]

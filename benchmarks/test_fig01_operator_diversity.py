@@ -1,0 +1,10 @@
+"""Figure 1: non-GEMM operator diversity grows over model generations."""
+
+from conftest import measured
+
+
+def test_fig01(exp):
+    experiment = exp("fig01")
+    assert measured(experiment, "diversity_grows_over_time") is True
+    assert measured(experiment, "first_gen_nongemm_types (VGG-16 ~3)") <= 5
+    assert measured(experiment, "language_model_nongemm_types (~10)") >= 10

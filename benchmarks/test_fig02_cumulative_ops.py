@@ -1,0 +1,9 @@
+"""Figure 2: cumulative usage; GEMM nodes are a small minority."""
+
+from conftest import measured
+
+
+def test_fig02(exp):
+    experiment = exp("fig02")
+    assert measured(experiment, "gemm_fraction_all_models") < 0.25
+    assert measured(experiment, "nongemm_surges_with_new_models") is True

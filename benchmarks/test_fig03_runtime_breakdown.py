@@ -1,0 +1,9 @@
+"""Figure 3: non-GEMM layers dominate newer models on the baselines."""
+
+from conftest import measured, within
+
+
+def test_fig03(exp):
+    experiment = exp("fig03")
+    assert measured(experiment, "newer_models_more_nongemm_bound") is True
+    within(experiment, "efficientnet_nongemm_share_baseline2", rel=0.40)

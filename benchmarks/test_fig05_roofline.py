@@ -1,0 +1,9 @@
+"""Figure 5: most non-GEMM operators are memory-bound."""
+
+from conftest import measured
+
+
+def test_fig05(exp):
+    experiment = exp("fig05")
+    assert measured(experiment, "memory_bound_ops_match") is True
+    assert measured(experiment, "softmax_gelu_compute_bound") is True

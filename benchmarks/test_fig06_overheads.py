@@ -1,0 +1,16 @@
+"""Figure 6: overheads removed by the three Tandem specializations."""
+
+from conftest import within
+
+
+def test_fig06(exp):
+    experiment = exp("fig06")
+    # Paper: (a) 41%/27%, (b) 59%/40%, (c) 70%/47%.
+    for metric in ("regfile_ldst_nongemm", "regfile_ldst_e2e",
+                   "address_calc_nongemm", "address_calc_e2e",
+                   "loop_logic_nongemm", "loop_logic_e2e"):
+        within(experiment, metric, rel=0.35)
+    # Ordering: loop logic > address calc > regfile (non-GEMM view).
+    s = experiment.summary
+    assert s["loop_logic_nongemm"][1] > s["address_calc_nongemm"][1] \
+        > s["regfile_ldst_nongemm"][1]

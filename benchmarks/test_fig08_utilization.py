@@ -1,0 +1,9 @@
+"""Figure 8: tile-granularity coordination raises utilization."""
+
+from conftest import measured
+
+
+def test_fig08(exp):
+    experiment = exp("fig08")
+    assert measured(experiment, "gemm_utilization_gain") > 0.02
+    assert measured(experiment, "tandem_utilization_gain") > 0.02

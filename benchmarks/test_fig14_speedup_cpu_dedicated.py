@@ -1,0 +1,12 @@
+"""Figure 14: 3.5x over Baseline 1, 2.7x over Baseline 2 (paper avgs)."""
+
+from conftest import measured, within
+
+
+def test_fig14(exp):
+    experiment = exp("fig14")
+    within(experiment, "avg_speedup_vs_baseline1", rel=0.35)
+    within(experiment, "avg_speedup_vs_baseline2", rel=0.35)
+    # MobileNetV2 and BERT are among the biggest winners vs Baseline 1.
+    assert measured(experiment, "mobilenetv2_speedup_vs_baseline1") > 3.0
+    assert measured(experiment, "bert_speedup_vs_baseline1") > 2.5

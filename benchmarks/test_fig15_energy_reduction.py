@@ -1,0 +1,13 @@
+"""Figure 15: 39.2x / 20.6x energy reduction (paper avgs)."""
+
+from conftest import within
+
+
+def test_fig15(exp):
+    experiment = exp("fig15")
+    within(experiment, "avg_energy_reduction_vs_baseline1", rel=0.60)
+    within(experiment, "avg_energy_reduction_vs_baseline2", rel=0.80)
+    # Baseline 1 (always through the 165 W CPU) burns more than Baseline 2.
+    s = experiment.summary
+    assert (s["avg_energy_reduction_vs_baseline1"][1]
+            > s["avg_energy_reduction_vs_baseline2"][1])

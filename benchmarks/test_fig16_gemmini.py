@@ -1,0 +1,13 @@
+"""Figure 16: 47.8x vs Gemmini, 5.9x vs its 32-core scale-up."""
+
+from conftest import measured, within
+
+
+def test_fig16(exp):
+    experiment = exp("fig16")
+    within(experiment, "avg_speedup_vs_gemmini", rel=0.40)
+    within(experiment, "avg_speedup_vs_gemmini_multicore", rel=0.60)
+    within(experiment, "multicore_gemmini_self_improvement", rel=0.60)
+    # The extremes land on the same models the paper reports.
+    assert measured(experiment, "max_multicore_speedup_model") == "mobilenetv2"
+    assert measured(experiment, "min_multicore_speedup_model") == "vgg16"

@@ -1,0 +1,10 @@
+"""Figure 17: im2col dominates MobileNetV2; RISC-V bottlenecks the LMs."""
+
+from conftest import measured
+
+
+def test_fig17(exp):
+    experiment = exp("fig17")
+    assert measured(experiment, "mobilenetv2_im2col_share") > 0.5
+    for model in ("bert", "gpt2", "yolov3"):
+        assert measured(experiment, f"riscv_dominates_{model}") is True

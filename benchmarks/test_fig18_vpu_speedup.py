@@ -1,0 +1,15 @@
+"""Figure 18: 2.6x vs TPU+VPU; loop specialization is the biggest lever."""
+
+from conftest import measured, within
+
+
+def test_fig18(exp):
+    experiment = exp("fig18")
+    within(experiment, "avg_speedup_vs_vpu", rel=0.35)
+    s = experiment.summary
+    # Ordering of the design-decision factors (paper: 2.1 > 1.4 > 1.1 > 0.8).
+    assert (s["loop_specialization_factor"][1]
+            > s["regfile_removal_factor"][1]
+            > s["obuf_ownership_factor"][1])
+    assert measured(experiment, "obuf_ownership_factor") >= 1.0
+    assert measured(experiment, "special_function_factor") < 1.0

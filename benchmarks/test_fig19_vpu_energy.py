@@ -1,0 +1,12 @@
+"""Figure 19: 1.4x energy reduction vs TPU+VPU."""
+
+from conftest import measured, within
+
+
+def test_fig19(exp):
+    experiment = exp("fig19")
+    within(experiment, "avg_energy_reduction_vs_vpu", rel=0.50)
+    # MobileNetV2 benefits most; VGG-16 least (paper's per-model shape).
+    assert (measured(experiment, "mobilenetv2")
+            > measured(experiment, "vgg16"))
+    assert measured(experiment, "avg_energy_reduction_vs_vpu") > 1.0

@@ -1,0 +1,10 @@
+"""Figure 20: 4.8x perf/W vs Jetson Xavier NX."""
+
+from conftest import measured, within
+
+
+def test_fig20(exp):
+    experiment = exp("fig20")
+    within(experiment, "avg_perf_per_watt_vs_jetson", rel=0.50)
+    within(experiment, "rtx_vs_jetson_efficiency", rel=0.50)
+    assert measured(experiment, "mobilenetv2_max_benefit") is True

@@ -1,0 +1,14 @@
+"""Figure 21: iso-TOPs vs A100 — parity with TensorRT, 4x vs CUDA."""
+
+from conftest import measured, within
+
+
+def test_fig21(exp):
+    experiment = exp("fig21")
+    # Parity band vs TensorRT (paper: +2.5%).
+    trt = measured(experiment, "avg_speedup_vs_a100_tensorrt")
+    assert 0.6 <= trt <= 1.6
+    within(experiment, "avg_speedup_vs_a100_cuda", rel=0.40)
+    assert measured(experiment, "a100_wins_vgg16") is True
+    assert measured(experiment, "a100_wins_yolov3") is True
+    assert measured(experiment, "npu_wins_bert") is True

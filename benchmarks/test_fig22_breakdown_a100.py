@@ -1,0 +1,9 @@
+"""Figure 22: GEMM/non-GEMM runtime split, scaled NPU vs A100-CUDA."""
+
+from conftest import measured
+
+
+def test_fig22(exp):
+    experiment = exp("fig22")
+    assert measured(
+        experiment, "nongemm_share_larger_for_newer_models_on_a100") is True

@@ -1,0 +1,10 @@
+"""Figure 23: 3.4x non-GEMM-only speedup over A100 CUDA cores."""
+
+from conftest import measured, within
+
+
+def test_fig23(exp):
+    experiment = exp("fig23")
+    within(experiment, "avg_nongemm_speedup_vs_a100", rel=0.40)
+    assert measured(experiment, "bert_is_max") is True
+    assert measured(experiment, "gpt2_below_bert (bandwidth bound)") is True

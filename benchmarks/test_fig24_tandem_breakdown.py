@@ -1,0 +1,12 @@
+"""Figure 24: per-layer-type runtime breakdown on the NPU-Tandem."""
+
+from conftest import measured
+
+
+def test_fig24(exp):
+    experiment = exp("fig24")
+    assert measured(
+        experiment, "depthwise_dominates_mobilenetv2_nongemm") is True
+    assert measured(experiment, "gelu_or_softmax_heavy_in_bert") is True
+    assert measured(experiment, "reducemean_visible_in_gpt2") is True
+    assert measured(experiment, "gemm_significant_share_on_npu") is True

@@ -1,0 +1,12 @@
+"""Figure 25: Tandem energy — loop+addr logic is the largest component."""
+
+from conftest import measured, within
+
+
+def test_fig25(exp):
+    experiment = exp("fig25")
+    within(experiment, "dram_share", rel=0.35)
+    within(experiment, "loop_addr_share", rel=0.35)
+    within(experiment, "alu_share", rel=0.50)
+    within(experiment, "on_chip_sram_share", rel=0.50)
+    assert measured(experiment, "loop_addr_is_largest_logic") is True

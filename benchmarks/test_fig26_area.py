@@ -1,0 +1,11 @@
+"""Figure 26: 1.02 mm2 at 65 nm with the published breakdown."""
+
+from conftest import within
+
+
+def test_fig26(exp):
+    experiment = exp("fig26")
+    within(experiment, "total_mm2", rel=0.02)
+    within(experiment, "alu_fraction", rel=0.02)
+    within(experiment, "interim_buf_fraction", rel=0.02)
+    within(experiment, "permute_fraction", rel=0.02)

@@ -1,0 +1,22 @@
+"""Micro-benchmark: ISA density — strided walks + compute in 32 bits."""
+
+from repro.compiler import compile_model
+from repro.models import build_tinynet
+
+
+def _compile_and_measure():
+    model = compile_model(build_tinynet())
+    words = sum(len(cb.tile.program) for cb in model.blocks if cb.tile)
+    compute = sum(cb.tile.program.compute_instruction_count()
+                  for cb in model.blocks if cb.tile)
+    return {"total_words": words, "compute_words": compute,
+            "bytes": words * 4}
+
+
+def test_isa_density(benchmark):
+    stats = benchmark.pedantic(_compile_and_measure, rounds=1, iterations=1)
+    assert stats["total_words"] > 0
+    # Every instruction is one 32-bit word.
+    assert stats["bytes"] == 4 * stats["total_words"]
+    # Configuration amortizes: compute is a meaningful share.
+    assert stats["compute_words"] / stats["total_words"] > 0.1

@@ -1,0 +1,11 @@
+"""Table 1: non-GEMM operator classes across the benchmark suite."""
+
+from conftest import measured
+
+
+def test_table1(exp):
+    experiment = exp("table1")
+    # The compiler has a template for every operator example Table 1
+    # names, in every class.
+    for metric, (paper, got) in experiment.summary.items():
+        assert got == paper, metric

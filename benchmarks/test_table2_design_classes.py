@@ -1,0 +1,8 @@
+"""Table 2: every design class is implemented as an executable model."""
+
+from conftest import measured
+
+
+def test_table2(exp):
+    experiment = exp("table2")
+    assert measured(experiment, "design_classes_implemented") == 5

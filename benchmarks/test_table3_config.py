@@ -1,0 +1,7 @@
+"""Table 3: the evaluated configuration matches the paper exactly."""
+
+
+def test_table3(exp):
+    experiment = exp("table3")
+    for metric, (paper, got) in experiment.summary.items():
+        assert paper == got, metric

@@ -1,0 +1,54 @@
+"""Compare every Section 2.3 design class on one benchmark.
+
+Reproduces the paper's headline story for a single model: how the
+NPU-Tandem stacks up against an off-chip CPU fallback, dedicated units,
+Gemmini-style RISC-V cores, and a TPU-like VPU.
+
+Run:  python examples/compare_designs.py [model]
+"""
+
+import sys
+
+from repro import NPUTandem
+from repro.baselines import (
+    CpuFallbackDesign,
+    DedicatedUnitsDesign,
+    GemminiDesign,
+    TpuVpuDesign,
+)
+from repro.harness import render_table
+from repro.models import available_models
+
+
+def main(model: str = "bert") -> None:
+    if model not in available_models():
+        raise SystemExit(f"unknown model {model!r}; try {available_models()}")
+
+    designs = [
+        NPUTandem(),
+        CpuFallbackDesign(),
+        DedicatedUnitsDesign(),
+        GemminiDesign(1),
+        GemminiDesign(32),
+        TpuVpuDesign(),
+    ]
+    results = [design.evaluate(model) for design in designs]
+    npu = results[0]
+
+    rows = []
+    for result in results:
+        rows.append((
+            result.design,
+            result.total_seconds * 1e3,
+            result.energy_joules * 1e3,
+            npu.speedup_over(result) if result is not npu else 1.0,
+            result.energy_joules / npu.energy_joules,
+        ))
+    print(render_table(
+        ("design", "latency (ms)", "energy (mJ)",
+         "NPU-Tandem speedup", "energy vs NPU"),
+        rows, title=f"End-to-end inference of {model} (batch 1)"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bert")

@@ -1,0 +1,48 @@
+"""Profile a language model on the NPU-Tandem.
+
+Shows where GPT-2's time and energy go on the proposed design — the
+Figure 24/25 view: which non-GEMM operators still matter once the
+Tandem Processor accelerates them, and which hardware components burn
+the energy.
+
+Run:  python examples/language_model_profile.py [model]
+"""
+
+import sys
+
+from repro import NPUTandem
+from repro.harness import render_table
+
+
+def main(model: str = "gpt2") -> None:
+    npu = NPUTandem()
+    result = npu.evaluate(model)
+
+    print(f"{model}: {result.total_seconds * 1e3:.3f} ms end-to-end, "
+          f"{result.energy_joules * 1e3:.2f} mJ "
+          f"({result.average_power_watts:.2f} W average)\n")
+
+    busy = result.gemm_seconds + sum(result.per_op_seconds.values())
+    rows = [("GEMM (systolic array)", result.gemm_seconds * 1e3,
+             result.gemm_seconds / busy)]
+    for op, seconds in sorted(result.per_op_seconds.items(),
+                              key=lambda kv: -kv[1]):
+        rows.append((op, seconds * 1e3, seconds / busy))
+    print(render_table(("layer type", "busy time (ms)", "share"), rows,
+                       title="Runtime breakdown (Figure 24 view)"))
+
+    total_j = sum(result.energy_breakdown.values())
+    rows = [(component, joules * 1e3, joules / total_j)
+            for component, joules in sorted(result.energy_breakdown.items(),
+                                            key=lambda kv: -kv[1])
+            if joules > 0]
+    print()
+    print(render_table(("component", "energy (mJ)", "share"), rows,
+                       title="Energy breakdown (Figure 25 view)"))
+
+    print(f"\nGEMM-unit utilization:   {result.gemm_utilization:.1%}")
+    print(f"Tandem-unit utilization: {result.nongemm_utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "gpt2")

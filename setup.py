@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The evaluation environment is offline and lacks the ``wheel`` package, so
+PEP-517 editable installs fail; this shim lets
+``pip install -e . --no-build-isolation`` fall back to
+``setup.py develop``. All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""repro — a reproduction of *Tandem Processor: Grappling with Emerging
+Operators in Neural Networks* (ASPLOS 2024).
+
+Quickstart::
+
+    from repro import NPUTandem, build_model
+
+    npu = NPUTandem()                      # Table 3 configuration
+    result = npu.evaluate("bert")          # end-to-end analytic run
+    print(result.total_seconds, result.energy_joules)
+
+Subpackages:
+
+* :mod:`repro.graph` — ONNX-like graph IR;
+* :mod:`repro.models` — the seven benchmark DNNs;
+* :mod:`repro.isa` — the Figure 12 instruction set;
+* :mod:`repro.simulator` — functional + cycle-level Tandem Processor;
+* :mod:`repro.gemm` — systolic-array GEMM unit;
+* :mod:`repro.compiler` — ONNX graph -> Tandem ISA (Figure 13);
+* :mod:`repro.npu` — the integrated NPU-Tandem (Figures 10/11);
+* :mod:`repro.baselines` — every Section 2.3 comparison design point;
+* :mod:`repro.analysis` — characterization + breakdowns;
+* :mod:`repro.harness` — per-figure experiment registry.
+"""
+
+from .compiler import CompiledModel, ReferenceExecutor, compile_model
+from .graph import Graph, GraphBuilder, OpClass, TensorSpec
+from .models import MODEL_ORDER, available_models, build_model
+from .npu import FunctionalRunner, NPUConfig, NPUTandem, iso_a100_config, table3_config
+from .results import RunResult, geomean
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledModel",
+    "FunctionalRunner",
+    "Graph",
+    "GraphBuilder",
+    "MODEL_ORDER",
+    "NPUConfig",
+    "NPUTandem",
+    "OpClass",
+    "ReferenceExecutor",
+    "RunResult",
+    "TensorSpec",
+    "available_models",
+    "build_model",
+    "compile_model",
+    "geomean",
+    "iso_a100_config",
+    "table3_config",
+    "__version__",
+]

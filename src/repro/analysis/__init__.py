@@ -1,0 +1,51 @@
+"""Characterization and reporting (Section 2 + the figure breakdowns)."""
+
+from .area import AreaBreakdown, tandem_area
+from .dse import DesignPoint, DseResult, config_for, pareto_frontier, sweep
+from .breakdown import (
+    figure3,
+    figure17,
+    figure22,
+    figure24,
+    figure25,
+    runtime_fractions,
+)
+from .opstats import (
+    CumulativeOps,
+    ModelOpStats,
+    cumulative_usage,
+    model_stats,
+    operator_diversity,
+)
+from .overheads import OverheadResult, average_overheads, overhead_analysis
+from .roofline import RooflinePoint, ridge_point, roofline
+from .utilization import UtilizationComparison, utilization_comparison
+
+__all__ = [
+    "DesignPoint",
+    "DseResult",
+    "config_for",
+    "pareto_frontier",
+    "sweep",
+    "AreaBreakdown",
+    "CumulativeOps",
+    "ModelOpStats",
+    "OverheadResult",
+    "RooflinePoint",
+    "UtilizationComparison",
+    "average_overheads",
+    "cumulative_usage",
+    "figure17",
+    "figure22",
+    "figure24",
+    "figure25",
+    "figure3",
+    "model_stats",
+    "operator_diversity",
+    "overhead_analysis",
+    "ridge_point",
+    "roofline",
+    "runtime_fractions",
+    "tandem_area",
+    "utilization_comparison",
+]

@@ -1,0 +1,51 @@
+"""Post-layout area model (Figure 26, 65 nm).
+
+Reproduces the paper's breakdown at the Table 3 configuration — 1.02 mm²
+total with ALU logic 56.6 %, Interim BUF 1&2 29.2 %, permute logic
+12.0 %, the rest for muxing/pipeline registers/Code Repeater/decode —
+and scales with lane count and buffer capacity for the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..simulator.params import TandemParams
+
+#: Calibrated to land on Figure 26 at 32 lanes / 128 KB Interim BUFs.
+_ALU_MM2_PER_LANE = 0.018041      # INT32 ALU + its pipeline slice
+_SRAM_MM2_PER_KB = 0.0023268      # single-ported SRAM macro, 65 nm
+_PERMUTE_MM2_PER_LANE = 0.003825  # crossbar grows with lane count
+_FIXED_MM2 = 0.0224               # decode, Code Repeater, muxing, control
+
+
+@dataclass
+class AreaBreakdown:
+    alu_mm2: float
+    interim_buf_mm2: float
+    permute_mm2: float
+    other_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.alu_mm2 + self.interim_buf_mm2 + self.permute_mm2
+                + self.other_mm2)
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_mm2
+        return {
+            "alu": self.alu_mm2 / total,
+            "interim_buf": self.interim_buf_mm2 / total,
+            "permute": self.permute_mm2 / total,
+            "other": self.other_mm2 / total,
+        }
+
+
+def tandem_area(params: TandemParams = TandemParams()) -> AreaBreakdown:
+    return AreaBreakdown(
+        alu_mm2=params.lanes * _ALU_MM2_PER_LANE,
+        interim_buf_mm2=2 * params.interim_buf_kb * _SRAM_MM2_PER_KB,
+        permute_mm2=params.lanes * _PERMUTE_MM2_PER_LANE,
+        other_mm2=_FIXED_MM2,
+    )

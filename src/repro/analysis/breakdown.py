@@ -1,0 +1,111 @@
+"""Runtime and energy breakdowns (Figures 3, 17, 22, 24, 25)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..baselines import (
+    A100,
+    CpuFallbackDesign,
+    DedicatedUnitsDesign,
+    GemminiDesign,
+    GpuDesign,
+    runtime_breakdown as gemmini_breakdown,
+)
+from ..graph import Graph
+from ..models import MODEL_ORDER
+from ..npu import NPUTandem, iso_a100_config
+from ..results import RunResult
+
+
+def runtime_fractions(result: RunResult) -> Dict[str, float]:
+    """(gemm, non-GEMM, communication) shares of a serialized design."""
+    total = result.total_seconds
+    if total == 0:
+        return {"gemm": 0.0, "nongemm": 0.0, "comm": 0.0}
+    return {
+        "gemm": result.gemm_seconds / total,
+        "nongemm": result.nongemm_seconds / total,
+        "comm": result.comm_seconds / total,
+    }
+
+
+def figure3(models: Optional[List[str]] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Runtime breakdown on Baseline 1, Baseline 2, and the A100 GPU."""
+    models = models or MODEL_ORDER
+    designs = {
+        "baseline1": CpuFallbackDesign(),
+        "baseline2": DedicatedUnitsDesign(),
+        "a100": GpuDesign(A100, "cuda"),
+    }
+    return {
+        model: {name: runtime_fractions(design.evaluate(model))
+                for name, design in designs.items()}
+        for model in models
+    }
+
+
+def figure17(models: Optional[List[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Gemmini (1 core) runtime breakdown per component."""
+    models = models or MODEL_ORDER
+    design = GemminiDesign(1)
+    return {model: gemmini_breakdown(design, model) for model in models}
+
+
+def figure22(models: Optional[List[str]] = None) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """GEMM vs non-GEMM split: scaled NPU-Tandem vs A100 CUDA (iso-TOPs)."""
+    models = models or MODEL_ORDER
+    npu = NPUTandem(iso_a100_config())
+    gpu = GpuDesign(A100, "cuda")
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for model in models:
+        rn = npu.evaluate(model)
+        rg = gpu.evaluate(model)
+        busy = rn.gemm_seconds + rn.nongemm_seconds
+        out[model] = {
+            "npu_tandem": {
+                "gemm": rn.gemm_seconds / busy if busy else 0.0,
+                "nongemm": rn.nongemm_seconds / busy if busy else 0.0,
+                "total_seconds": rn.total_seconds,
+            },
+            "a100_cuda": {
+                **runtime_fractions(rg),
+                "total_seconds": rg.total_seconds,
+            },
+        }
+    return out
+
+
+def figure24(models: Optional[List[str]] = None,
+             npu: Optional[NPUTandem] = None) -> Dict[str, Dict[str, float]]:
+    """NPU-Tandem runtime breakdown: GEMM + each non-GEMM operator type.
+
+    Fractions of total busy time (GEMM busy + per-operator Tandem time).
+    """
+    models = models or MODEL_ORDER
+    npu = npu or NPUTandem()
+    out: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        result = npu.evaluate(model)
+        parts = dict(result.per_op_seconds)
+        parts["GEMM"] = result.gemm_seconds
+        total = sum(parts.values())
+        out[model] = {op: sec / total for op, sec in parts.items()} if total \
+            else {}
+    return out
+
+
+def figure25(models: Optional[List[str]] = None,
+             npu: Optional[NPUTandem] = None) -> Dict[str, Dict[str, float]]:
+    """Tandem Processor energy breakdown per component."""
+    models = models or MODEL_ORDER
+    npu = npu or NPUTandem()
+    components = ("dram", "on_chip_sram", "alu", "loop_addr", "other")
+    out: Dict[str, Dict[str, float]] = {}
+    for model in models:
+        result = npu.evaluate(model)
+        tandem = {k: result.energy_breakdown.get(k, 0.0) for k in components}
+        total = sum(tandem.values())
+        out[model] = ({k: v / total for k, v in tandem.items()} if total
+                      else {k: 0.0 for k in components})
+    return out

@@ -1,0 +1,100 @@
+"""Operator census: Figures 1 and 2 (Section 2.1).
+
+Figure 1 counts the *kinds* of non-GEMM operators per model over time;
+Figure 2 counts cumulative GEMM vs non-GEMM node usage across the
+benchmark suite, ending at "merely 15 % of total DNN operator nodes are
+GEMMs".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..graph import NON_GEMM_CLASSES, Graph, OpClass
+from ..models import MODEL_ORDER, MODEL_YEARS, build_model
+
+
+@dataclass
+class ModelOpStats:
+    model: str
+    year: int
+    gemm_nodes: int
+    nongemm_nodes: int
+    nongemm_types: int
+    types_per_class: Dict[OpClass, int]
+
+    @property
+    def total_nodes(self) -> int:
+        return self.gemm_nodes + self.nongemm_nodes
+
+    @property
+    def gemm_fraction(self) -> float:
+        return self.gemm_nodes / self.total_nodes if self.total_nodes else 0.0
+
+
+def model_stats(graph: Graph, year: int = 0) -> ModelOpStats:
+    class_counts = graph.class_counts()
+    gemm = class_counts.get(OpClass.GEMM, 0)
+    nongemm = sum(class_counts.get(c, 0) for c in NON_GEMM_CLASSES)
+    types_per_class: Dict[OpClass, set] = {c: set() for c in NON_GEMM_CLASSES}
+    for node in graph.nodes:
+        if node.op_class in types_per_class:
+            types_per_class[node.op_class].add(node.op_type)
+    return ModelOpStats(
+        model=graph.name,
+        year=year,
+        gemm_nodes=gemm,
+        nongemm_nodes=nongemm,
+        nongemm_types=sum(len(s) for s in types_per_class.values()),
+        types_per_class={c: len(s) for c, s in types_per_class.items()},
+    )
+
+
+def operator_diversity() -> List[ModelOpStats]:
+    """Figure 1: non-GEMM operator diversity per model, chronologically."""
+    stats = [model_stats(build_model(name), MODEL_YEARS[name])
+             for name in MODEL_ORDER]
+    return sorted(stats, key=lambda s: (s.year, s.model))
+
+
+@dataclass
+class CumulativeOps:
+    """One bar group of Figure 2."""
+
+    model: str
+    cumulative_gemm: int
+    cumulative_by_class: Dict[OpClass, int]
+
+    @property
+    def cumulative_nongemm(self) -> int:
+        return sum(self.cumulative_by_class.values())
+
+    @property
+    def cumulative_total(self) -> int:
+        return self.cumulative_gemm + self.cumulative_nongemm
+
+    @property
+    def gemm_fraction(self) -> float:
+        total = self.cumulative_total
+        return self.cumulative_gemm / total if total else 0.0
+
+
+def cumulative_usage() -> List[CumulativeOps]:
+    """Figure 2: cumulative operator usage as models are added."""
+    gemm = 0
+    by_class: Counter = Counter()
+    out: List[CumulativeOps] = []
+    for name in MODEL_ORDER:
+        graph = build_model(name)
+        counts = graph.class_counts()
+        gemm += counts.get(OpClass.GEMM, 0)
+        for cls in NON_GEMM_CLASSES:
+            by_class[cls] += counts.get(cls, 0)
+        out.append(CumulativeOps(
+            model=name,
+            cumulative_gemm=gemm,
+            cumulative_by_class={c: by_class[c] for c in NON_GEMM_CLASSES},
+        ))
+    return out

@@ -1,0 +1,68 @@
+"""Figure 6: what each Tandem specialization removes.
+
+Three what-if experiments on the Tandem Processor itself, each adding
+one conventional overhead back in:
+
+* (a) a vector register file and its LD/ST traffic — paper: 41 % of
+  non-GEMM runtime, 27 % end-to-end;
+* (b) explicit address-calculation instructions — 59 % / 40 %;
+* (c) branch-based loop management — 70 % / 47 %.
+
+"Overhead" is the fraction of the degraded design's runtime spent on the
+reintroduced mechanism: ``1 - t_specialized / t_degraded``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..models import MODEL_ORDER
+from ..npu import NPUConfig, NPUTandem, table3_config
+from ..simulator.params import VpuOverlay
+
+
+@dataclass
+class OverheadResult:
+    model: str
+    mechanism: str
+    nongemm_overhead: float   # "N-G" bars of Figure 6
+    e2e_overhead: float       # "E2E" bars of Figure 6
+
+
+_MECHANISMS = {
+    "regfile_ldst": VpuOverlay(regfile_loads=True),
+    "address_calc": VpuOverlay(explicit_address_calc=True),
+    "loop_logic": VpuOverlay(conventional_loops=True),
+}
+
+
+def overhead_analysis(models: Optional[List[str]] = None,
+                      config: Optional[NPUConfig] = None
+                      ) -> List[OverheadResult]:
+    models = models or MODEL_ORDER
+    config = config or table3_config()
+    base_npu = NPUTandem(config)
+    results: List[OverheadResult] = []
+    for model in models:
+        base = base_npu.evaluate(model)
+        for name, overlay in _MECHANISMS.items():
+            degraded_config = replace(config,
+                                      sim=config.sim.with_overlay(overlay))
+            degraded = NPUTandem(degraded_config).evaluate(model)
+            ng = 1.0 - (base.nongemm_seconds
+                        / max(degraded.nongemm_seconds, 1e-12))
+            e2e = 1.0 - base.total_seconds / degraded.total_seconds
+            results.append(OverheadResult(model, name, ng, e2e))
+    return results
+
+
+def average_overheads(results: List[OverheadResult]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for mechanism in _MECHANISMS:
+        subset = [r for r in results if r.mechanism == mechanism]
+        out[mechanism] = {
+            "nongemm": sum(r.nongemm_overhead for r in subset) / len(subset),
+            "e2e": sum(r.e2e_overhead for r in subset) / len(subset),
+        }
+    return out

@@ -1,0 +1,78 @@
+"""Roofline analysis of non-GEMM operators (Figure 5, Section 2.1).
+
+The roofline is drawn for the Tandem Processor configuration of Table 3:
+peak compute = lanes x frequency primitive INT32 ops/s, bounded by the
+off-chip streaming bandwidth. "Most of the analyzed operators (other
+than Softmax and GeLU) fall within the memory-bound region."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..graph import GraphBuilder
+from ..simulator.params import SimParams
+
+
+@dataclass
+class RooflinePoint:
+    operator: str
+    flops: int
+    bytes_moved: int
+    attainable_gops: float
+    peak_gops: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes_moved if self.bytes_moved else 0.0
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.attainable_gops < self.peak_gops
+
+
+#: Integer-op counts per element as the Tandem compiler actually lowers
+#: them (primitive-op recipe lengths), used as the roofline's numerator.
+_OPS_PER_ELEMENT = {
+    "Add": 1, "Sub": 1, "Mul": 1, "Div": 1, "Relu": 1, "Clip": 2,
+    "LeakyRelu": 5, "Cast": 1, "Transpose": 1, "MaxPool": 4, "ResAdd": 1,
+    "GlobalAveragePool": 1, "ReduceMean": 1, "DepthwiseConv": 9,
+    "Sigmoid": 23, "Tanh": 27, "Exp": 13, "Sqrt": 52, "Erf": 10,
+    "Softmax": 17, "Gelu": 15,
+}
+
+#: Bytes of DRAM traffic per element (inputs + outputs, INT32).
+_BYTES_PER_ELEMENT = {
+    "Add": 12, "Sub": 12, "Mul": 12, "Div": 12, "ResAdd": 12,
+    "Relu": 8, "Clip": 8, "LeakyRelu": 8, "Cast": 5, "Transpose": 8,
+    "MaxPool": 5, "GlobalAveragePool": 4, "ReduceMean": 4,
+    "DepthwiseConv": 5, "Sigmoid": 8, "Tanh": 8, "Exp": 8, "Sqrt": 8,
+    "Erf": 8, "Softmax": 8, "Gelu": 8,
+}
+
+
+def roofline(params: Optional[SimParams] = None,
+             operators: Optional[List[str]] = None) -> List[RooflinePoint]:
+    """Place each operator on the Table 3 roofline."""
+    params = params or SimParams()
+    peak_gops = (params.tandem.lanes * params.tandem.frequency_hz) / 1e9
+    bandwidth_gbs = params.dram.bandwidth_bytes_per_s / 1e9
+    operators = operators or sorted(_OPS_PER_ELEMENT)
+    points = []
+    for op in operators:
+        flops = _OPS_PER_ELEMENT[op]
+        nbytes = _BYTES_PER_ELEMENT[op]
+        intensity = flops / nbytes
+        attainable = min(peak_gops, intensity * bandwidth_gbs)
+        points.append(RooflinePoint(
+            operator=op, flops=flops, bytes_moved=nbytes,
+            attainable_gops=attainable, peak_gops=peak_gops))
+    return points
+
+
+def ridge_point(params: Optional[SimParams] = None) -> float:
+    """Arithmetic intensity where the roofline flattens (ops/byte)."""
+    params = params or SimParams()
+    peak = params.tandem.lanes * params.tandem.frequency_hz
+    return peak / params.dram.bandwidth_bytes_per_s

@@ -1,0 +1,28 @@
+"""Comparison design points (Section 2.3 classes)."""
+
+from .cpu import CpuModel, CpuParams
+from .cpu_fallback import CpuFallbackDesign
+from .dedicated import DedicatedUnitsDesign
+from .gemmini import GemminiDesign, RiscvParams, runtime_breakdown
+from .gpu import A100, JETSON_XAVIER_NX, RTX_2080_TI, GpuDesign, GpuParams
+from .pcie import PcieLink, PcieParams
+from .vpu import TpuVpuDesign, VpuFlags
+
+__all__ = [
+    "A100",
+    "CpuFallbackDesign",
+    "CpuModel",
+    "CpuParams",
+    "DedicatedUnitsDesign",
+    "GemminiDesign",
+    "GpuDesign",
+    "GpuParams",
+    "JETSON_XAVIER_NX",
+    "PcieLink",
+    "PcieParams",
+    "RTX_2080_TI",
+    "RiscvParams",
+    "TpuVpuDesign",
+    "VpuFlags",
+    "runtime_breakdown",
+]

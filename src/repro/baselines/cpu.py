@@ -1,0 +1,71 @@
+"""Off-chip CPU execution model for non-GEMM operators.
+
+Models the paper's Intel Core i9-9980XE running ONNX Runtime: per-node
+framework dispatch overhead plus a roofline over effective vector
+throughput and memory bandwidth. Non-GEMM operators under ONNX Runtime
+are dominated by dispatch for small tensors and by memory bandwidth for
+large ones, with complex math (exp/erf/tanh) limited by the scalar-ish
+special-function throughput — all three regimes matter for Figure 3's
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph import Graph, Node, OpClass
+
+
+@dataclass(frozen=True)
+class CpuParams:
+    """i9-9980XE-class workstation CPU (Skylake-X, 18C, AVX-512)."""
+
+    name: str = "i9-9980XE"
+    #: Effective element-wise arithmetic throughput for framework-driven
+    #: single-stream inference (far below peak: one to a few cores busy).
+    simple_gops: float = 20.0
+    #: Effective throughput for special functions (exp, erf, tanh, ...).
+    complex_gops: float = 4.5
+    #: Streaming memory bandwidth seen by one inference stream.
+    bandwidth_bytes_per_s: float = 28.0e9
+    #: ONNX Runtime per-node dispatch latency.
+    dispatch_s: float = 5.0e-6
+    tdp_watts: float = 165.0
+    #: Sustained package power while running single-stream inference
+    #: kernels (energy accounting; the TDP is the design-power quote).
+    active_watts: float = 75.0
+
+    #: Datatype conversion throughput when crossing the accelerator
+    #: boundary (INT32 accumulators <-> the CPU's float kernels).
+    convert_bytes_per_s: float = 20.0e9
+
+
+#: Operators whose CPU kernels go through special functions.
+_COMPLEX_OPS = frozenset({
+    "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Softmax", "Pow",
+    "Reciprocal", "Div",
+})
+
+
+class CpuModel:
+    def __init__(self, params: CpuParams = CpuParams()):
+        self.params = params
+
+    def node_seconds(self, graph: Graph, node: Node) -> float:
+        """Wall-clock for one non-GEMM node under ONNX Runtime."""
+        cost = graph.node_cost(node)
+        if node.info.is_layout_only:
+            compute_s = 0.0
+        else:
+            gops = (self.params.complex_gops if node.op_type in _COMPLEX_OPS
+                    else self.params.simple_gops)
+            compute_s = cost.flops / (gops * 1e9)
+        memory_s = cost.bytes_total / self.params.bandwidth_bytes_per_s
+        return self.params.dispatch_s + max(compute_s, memory_s)
+
+    def convert_seconds(self, nbytes: int) -> float:
+        """INT32 <-> FP32 conversion at the accelerator boundary."""
+        return nbytes / self.params.convert_bytes_per_s
+
+    def joules(self, seconds: float) -> float:
+        return seconds * self.params.active_watts

@@ -1,0 +1,123 @@
+"""Baseline (1): PCIe-attached GEMM unit + off-chip CPU for non-GEMM.
+
+Class (1) of Section 2.3. Every non-GEMM operator runs on the host CPU;
+activations cross PCIe (with INT<->FP datatype conversion) at every
+GEMM/non-GEMM boundary, and nothing overlaps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Union
+
+from ..gemm import SystolicArray, SystolicParams, gemm_dims
+from ..graph import Graph, Node
+from ..models import build_model
+from ..results import RunResult
+from .cpu import CpuModel, CpuParams
+from .pcie import PcieLink, PcieParams
+
+#: Unit labels for boundary-crossing accounting.
+NPU, CPU = "npu", "cpu"
+
+
+class CpuFallbackDesign:
+    """GEMM unit on the accelerator, everything else on the host CPU."""
+
+    name = "gemm+offchip-cpu"
+    #: Accelerator-card static power (same class of NPU as the proposed
+    #: design), charged against wall-clock time.
+    STATIC_WATTS = 1.0
+
+    def __init__(self, gemm_params: Optional[SystolicParams] = None,
+                 cpu_params: Optional[CpuParams] = None,
+                 pcie_params: Optional[PcieParams] = None):
+        self.array = SystolicArray(gemm_params or SystolicParams())
+        self.cpu = CpuModel(cpu_params or CpuParams())
+        self.pcie = PcieLink(pcie_params or PcieParams())
+
+    # Subclasses (Baseline 2) override this to keep some operators on-chip.
+    def on_chip_nongemm(self, node: Node, graph: Graph) -> bool:
+        return False
+
+    def dedicated_seconds(self, node: Node, graph: Graph) -> float:
+        raise NotImplementedError
+
+    def _unit(self, node: Node, graph: Graph) -> str:
+        if node.is_gemm or self.on_chip_nongemm(node, graph):
+            return NPU
+        return CPU
+
+    def evaluate(self, graph: Union[str, Graph]) -> RunResult:
+        if isinstance(graph, str):
+            graph = build_model(graph)
+        freq = self.array.params.frequency_hz
+
+        gemm_s = 0.0
+        nongemm_s = 0.0
+        comm_s = 0.0
+        gemm_j = 0.0
+        cpu_s = 0.0
+        pcie_j = 0.0
+        dedicated_j = 0.0
+        per_op: Dict[str, float] = {}
+
+        units = {name: NPU for name in graph.graph_inputs}
+        for node in graph.topological_order():
+            unit = self._unit(node, graph)
+            # PCIe crossings for activation inputs produced on the other
+            # side (each crossing also pays datatype conversion on the
+            # CPU side, Section 2.3).
+            for inp in node.inputs:
+                src_unit = units.get(inp, NPU)
+                if src_unit != unit:
+                    nbytes = graph.tensor(inp).nbytes
+                    comm_s += self.pcie.transfer_seconds(nbytes)
+                    pcie_j += self.pcie.transfer_joules(nbytes)
+                    convert = self.cpu.convert_seconds(nbytes)
+                    nongemm_s += convert
+                    cpu_s += convert
+            for out in node.outputs:
+                units[out] = unit
+
+            if node.is_gemm:
+                out = graph.out_spec(node)
+                m, n, k = gemm_dims(node, out, graph.tensor(node.inputs[0]))
+                cost = self.array.layer_cost(
+                    m, n, k,
+                    sum(graph.tensor(t).nbytes for t in node.inputs),
+                    sum(graph.tensor(t).nbytes for t in node.params),
+                    out.nbytes)
+                gemm_s += cost.cycles / freq
+                gemm_j += cost.energy_pj * 1e-12
+            elif unit == NPU:
+                seconds = self.dedicated_seconds(node, graph)
+                nongemm_s += seconds
+                dedicated_j += graph.out_spec(node).numel * 2.0e-12
+                per_op[node.op_type] = per_op.get(node.op_type, 0.0) + seconds
+            else:
+                seconds = self.cpu.node_seconds(graph, node)
+                nongemm_s += seconds
+                cpu_s += seconds
+                per_op[node.op_type] = per_op.get(node.op_type, 0.0) + seconds
+
+        total = gemm_s + nongemm_s + comm_s
+        static_j = total * self.STATIC_WATTS
+        energy = (gemm_j + self.cpu.joules(cpu_s) + pcie_j + dedicated_j
+                  + static_j)
+        return RunResult(
+            design=self.name,
+            model=graph.name,
+            total_seconds=total,
+            gemm_seconds=gemm_s,
+            nongemm_seconds=nongemm_s,
+            comm_seconds=comm_s,
+            energy_joules=energy,
+            energy_breakdown={
+                "gemm_unit": gemm_j,
+                "cpu": self.cpu.joules(cpu_s),
+                "pcie": pcie_j,
+                "dedicated": dedicated_j,
+                "static": static_j,
+            },
+            per_op_seconds=per_op,
+        )

@@ -1,0 +1,52 @@
+"""Baseline (2): GEMM unit + dedicated on-chip units, CPU fallback.
+
+Class (2) of Section 2.3 / Section 7: dedicated hardware blocks for
+Relu, Clip, Residual Add, MaxPool, and scale & shift (the Gemmini-style
+peripheral set). Anything else still round-trips to the off-chip CPU
+over PCIe.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, Node
+from .cpu_fallback import CpuFallbackDesign
+
+#: Operators the dedicated blocks implement directly.
+_DEDICATED_TYPES = frozenset({"Relu", "Clip", "Add", "MaxPool", "Cast",
+                              "BitShift"})
+#: Scale (element-wise multiply/divide by a per-tensor scalar parameter).
+_SCALE_TYPES = frozenset({"Mul", "Div"})
+
+
+class DedicatedUnitsDesign(CpuFallbackDesign):
+    """GEMM unit + Relu/Clip/ResAdd/MaxPool/scale&shift blocks + CPU."""
+
+    name = "gemm+dedicated-units"
+
+    #: Streaming width of each dedicated block (elements per cycle); the
+    #: blocks sit on the GEMM unit's output path.
+    DEDICATED_LANES = 32
+
+    def on_chip_nongemm(self, node: Node, graph: Graph) -> bool:
+        if node.op_type in _DEDICATED_TYPES:
+            return True
+        if node.op_type in _SCALE_TYPES:
+            # Only per-tensor scale: one operand must be a scalar param.
+            operands = list(node.inputs) + list(node.params)
+            if len(operands) >= 2:
+                second = graph.tensor(operands[1])
+                return second.numel == 1
+        return False
+
+    def dedicated_seconds(self, node: Node, graph: Graph) -> float:
+        numel = graph.out_spec(node).numel
+        cycles = -(-numel // self.DEDICATED_LANES)
+        if node.op_type == "MaxPool":
+            kh, kw = node.attrs["kernel_shape"]
+            cycles *= kh * kw
+        compute_s = cycles / self.array.params.frequency_hz
+        # The blocks sit behind the same DRAM interface as the GEMM unit
+        # and stream their operands from memory (no fused tiling).
+        memory_s = (graph.node_cost(node).bytes_total
+                    / self.array.params.dram_bandwidth_bytes_per_s)
+        return max(compute_s, memory_s)

@@ -1,0 +1,153 @@
+"""GPU baselines: Jetson Xavier NX, RTX 2080 Ti, A100 (Class (4)).
+
+Analytical per-layer roofline with framework behaviour switches:
+
+* ``tensorrt`` execution fuses element-wise/activation chains into the
+  producing GEMM kernel (their cost folds into the GEMM's memory
+  traffic), leaving standalone kernels only for reductions, layout ops
+  and complex math;
+* ``cuda`` (ONNX Runtime CUDA EP) launches one kernel per node, paying a
+  per-kernel launch overhead plus a memory-bandwidth-bound pass over the
+  operands — the behaviour behind the paper's Figure 21/22 gap between
+  the two modes.
+
+Vendor numbers: A100 (624 INT8 TOPS dense, 1.555 TB/s, 400 W), RTX 2080
+Ti (~215 INT8 TOPS, 616 GB/s, 250 W), Jetson Xavier NX (~21 INT8 TOPS,
+59.7 GB/s, 15 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Union
+
+from ..graph import Graph, Node, OpClass
+from ..models import build_model
+from ..results import RunResult
+
+#: Operator classes TensorRT folds into the preceding GEMM kernel.
+_FUSABLE_CLASSES = (OpClass.ELEMENTWISE_MATH, OpClass.ACTIVATION,
+                    OpClass.TYPE_CONVERSION)
+_COMPLEX_OPS = frozenset({
+    "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Softmax", "Pow",
+    "Reciprocal",
+})
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    name: str
+    int8_tops: float                  # tensor-core peak, INT8
+    fp_tflops: float                  # CUDA-core throughput for non-GEMM
+    bandwidth_bytes_per_s: float
+    launch_overhead_s: float
+    tdp_watts: float
+    #: Achievable fraction of peak for well-shaped GEMMs at batch 1.
+    gemm_efficiency: float = 0.35
+    #: Achievable fraction of peak bandwidth for element-wise kernels.
+    mem_efficiency: float = 0.65
+    #: Depth-wise convolutions utilize tensor cores terribly; they run
+    #: on CUDA cores with this efficiency (thread-starved on mobile).
+    depthwise_efficiency: float = 0.10
+    #: Fraction of TDP drawn while sustaining inference.
+    sustained_power_fraction: float = 0.7
+    #: ONNX Runtime's CUDA EP pays a heavier per-node cost than
+    #: TensorRT's pre-built engine (allocator, stream sync, Python hop).
+    cuda_launch_multiplier: float = 2.5
+
+
+JETSON_XAVIER_NX = GpuParams(
+    name="jetson-xavier-nx", int8_tops=21.0, fp_tflops=0.9,
+    bandwidth_bytes_per_s=59.7e9, launch_overhead_s=15.0e-6,
+    tdp_watts=15.0, gemm_efficiency=0.15, mem_efficiency=0.5,
+    depthwise_efficiency=0.03, sustained_power_fraction=0.85)
+
+RTX_2080_TI = GpuParams(
+    name="rtx-2080-ti", int8_tops=215.0, fp_tflops=13.4,
+    bandwidth_bytes_per_s=616.0e9, launch_overhead_s=6.0e-6,
+    tdp_watts=250.0, gemm_efficiency=0.25, depthwise_efficiency=0.12)
+
+A100 = GpuParams(
+    name="a100", int8_tops=624.0, fp_tflops=19.5,
+    bandwidth_bytes_per_s=1555.0e9, launch_overhead_s=5.0e-6,
+    tdp_watts=400.0, gemm_efficiency=0.12, depthwise_efficiency=0.10)
+
+
+class GpuDesign:
+    """One GPU under one execution mode ('tensorrt' or 'cuda')."""
+
+    def __init__(self, params: GpuParams, mode: str = "tensorrt"):
+        if mode not in ("tensorrt", "cuda"):
+            raise ValueError(f"unknown GPU execution mode {mode!r}")
+        self.params = params
+        self.mode = mode
+        self.launch_s = params.launch_overhead_s
+        if mode == "cuda":
+            self.launch_s *= params.cuda_launch_multiplier
+
+    @property
+    def name(self) -> str:
+        return f"{self.params.name}-{self.mode}"
+
+    # -- per-node costs ---------------------------------------------------------
+    def gemm_seconds(self, graph: Graph, node: Node) -> float:
+        cost = graph.node_cost(node)
+        compute = cost.flops / (self.params.int8_tops * 1e12
+                                * self.params.gemm_efficiency)
+        memory = cost.bytes_total / (self.params.bandwidth_bytes_per_s
+                                     * self.params.mem_efficiency)
+        return self.launch_s + max(compute, memory)
+
+    def nongemm_seconds(self, graph: Graph, node: Node) -> float:
+        cost = graph.node_cost(node)
+        if node.op_type == "DepthwiseConv":
+            compute = cost.flops / (self.params.fp_tflops * 1e12
+                                    * self.params.depthwise_efficiency)
+        elif node.op_type in _COMPLEX_OPS:
+            compute = cost.flops / (self.params.fp_tflops * 1e12 * 0.5)
+        elif node.info.is_layout_only:
+            compute = 0.0
+        else:
+            compute = cost.flops / (self.params.fp_tflops * 1e12)
+        memory = cost.bytes_total / (self.params.bandwidth_bytes_per_s
+                                     * self.params.mem_efficiency)
+        return self.launch_s + max(compute, memory)
+
+    def _fused(self, node: Node) -> bool:
+        return (self.mode == "tensorrt"
+                and node.op_class in _FUSABLE_CLASSES)
+
+    # -- end to end ----------------------------------------------------------------
+    def evaluate(self, graph: Union[str, Graph]) -> RunResult:
+        if isinstance(graph, str):
+            graph = build_model(graph)
+        gemm_s = 0.0
+        nongemm_s = 0.0
+        per_op: Dict[str, float] = {}
+        for node in graph.topological_order():
+            if node.is_gemm:
+                gemm_s += self.gemm_seconds(graph, node)
+            elif self._fused(node):
+                # Folded into the producer kernel: pays only its extra
+                # output traffic, no launch.
+                extra = (graph.out_spec(node).nbytes
+                         / (self.params.bandwidth_bytes_per_s
+                            * self.params.mem_efficiency))
+                gemm_s += extra
+            else:
+                seconds = self.nongemm_seconds(graph, node)
+                nongemm_s += seconds
+                per_op[node.op_type] = per_op.get(node.op_type, 0.0) + seconds
+        total = gemm_s + nongemm_s
+        energy = (total * self.params.tdp_watts
+                  * self.params.sustained_power_fraction)
+        return RunResult(
+            design=self.name,
+            model=graph.name,
+            total_seconds=total,
+            gemm_seconds=gemm_s,
+            nongemm_seconds=nongemm_s,
+            energy_joules=energy,
+            energy_breakdown={"gpu": energy},
+            per_op_seconds=per_op,
+        )

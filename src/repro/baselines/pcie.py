@@ -1,0 +1,31 @@
+"""PCIe transfer model (Baselines 1 and 2 attach the GEMM unit over PCIe).
+
+Section 7: third-generation PCIe with eight lanes, measured on a Xilinx
+Alveo U280; transaction energy per Beck et al., 'Zeppelin' (ISSCC'18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PcieParams:
+    """PCIe Gen3 x8: 8 GT/s x 8 lanes x 128b/130b, minus protocol overhead."""
+
+    bandwidth_bytes_per_s: float = 6.8e9   # effective, as measured on U280
+    latency_s: float = 2.0e-6              # per-transfer round-up (DMA setup)
+    energy_pj_per_byte: float = 12.0       # ~1.5 pJ/bit serdes + controller
+
+
+class PcieLink:
+    def __init__(self, params: PcieParams = PcieParams()):
+        self.params = params
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.params.latency_s + nbytes / self.params.bandwidth_bytes_per_s
+
+    def transfer_joules(self, nbytes: int) -> float:
+        return nbytes * self.params.energy_pj_per_byte * 1e-12

@@ -1,0 +1,94 @@
+"""Class (4): TPU-like design — GEMM unit + general-purpose VPU.
+
+Modeled per Google's VPU patent, exactly as Section 7 describes: the
+VPU keeps (1) strided DRAM<->scratchpad address generation, (2) strided
+scratchpad<->vector-register-file LD/ST, (3) GEMM->VPU software
+pipelining through FIFOs, and (4) single-instruction special functions.
+What it lacks relative to the Tandem Processor: register-file-free
+execution, the specialized Code Repeater loops, and direct Output BUF
+ownership.
+
+``design_points`` yields the cumulative Figure 18 ablation ladder, from
+the full VPU to the Tandem Processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
+
+from ..graph import Graph
+from ..npu import NPUConfig, NPUTandem, table3_config
+from ..results import RunResult
+from ..simulator.params import SimParams, VpuOverlay
+
+
+@dataclass(frozen=True)
+class VpuFlags:
+    """Which conventional overheads this design point pays."""
+
+    regfile: bool = True
+    conventional_loops: bool = True
+    fifo: bool = True
+    special_functions: bool = True
+
+    def label(self) -> str:
+        parts = []
+        if self.regfile:
+            parts.append("rf")
+        if self.conventional_loops:
+            parts.append("loops")
+        if self.fifo:
+            parts.append("fifo")
+        if self.special_functions:
+            parts.append("sf")
+        return "+".join(parts) or "tandem"
+
+
+class TpuVpuDesign:
+    """Evaluate the TPU+VPU point (or any intermediate ablation)."""
+
+    name = "tpu+vpu"
+
+    def __init__(self, config: Optional[NPUConfig] = None):
+        self.config = config or table3_config()
+
+    def _npu_for(self, flags: VpuFlags) -> NPUTandem:
+        overlay = VpuOverlay(
+            regfile_loads=flags.regfile,
+            conventional_loops=flags.conventional_loops,
+            fifo_coupling=flags.fifo,
+            special_functions=flags.special_functions,
+        )
+        sim = self.config.sim.with_overlay(overlay)
+        config = replace(self.config, sim=sim, name=f"vpu[{flags.label()}]")
+        return NPUTandem(config, fifo_coupling=flags.fifo,
+                         special_functions=flags.special_functions)
+
+    def evaluate(self, graph: Union[str, Graph],
+                 flags: VpuFlags = VpuFlags()) -> RunResult:
+        result = self._npu_for(flags).evaluate(graph)
+        result.design = self.name if flags == VpuFlags() else result.design
+        return result
+
+    def ablation_ladder(self, graph: Union[str, Graph]) -> Dict[str, RunResult]:
+        """The Figure 18 bars: each step removes one conventional overhead.
+
+        Keys, in order: ``vpu`` (full baseline), ``no_regfile``,
+        ``no_regfile_loops`` (+ specialized loops), ``no_regfile_loops_fifo``
+        (+ Output BUF ownership), ``tandem`` (also loses the VPU's
+        special-function instructions — the final design point).
+        """
+        ladder = {
+            "vpu": VpuFlags(),
+            "no_regfile": VpuFlags(regfile=False),
+            "no_regfile_loops": VpuFlags(regfile=False,
+                                         conventional_loops=False),
+            "no_regfile_loops_fifo": VpuFlags(regfile=False,
+                                              conventional_loops=False,
+                                              fifo=False),
+            "tandem": VpuFlags(regfile=False, conventional_loops=False,
+                               fifo=False, special_functions=False),
+        }
+        return {label: self.evaluate(graph, flags)
+                for label, flags in ladder.items()}

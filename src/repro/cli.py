@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``models`` — list the benchmark models.
+* ``evaluate MODEL [--design NAME]`` — end-to-end latency/energy on one
+  design point (``npu``, ``baseline1``, ``baseline2``, ``gemmini``,
+  ``gemmini32``, ``vpu``, ``jetson``, ``rtx2080ti``, ``a100-tensorrt``,
+  ``a100-cuda``).
+* ``compare MODEL`` — one model across every design class.
+* ``compile MODEL [--disassemble N] [--dump FILE]`` — compile and
+  inspect/serialize the Tandem programs.
+* ``experiment ID [ID...]`` — regenerate paper figures/tables.
+* ``trace MODEL`` — ASCII timeline of the software-pipelined execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .baselines import (
+    A100,
+    JETSON_XAVIER_NX,
+    RTX_2080_TI,
+    CpuFallbackDesign,
+    DedicatedUnitsDesign,
+    GemminiDesign,
+    GpuDesign,
+    TpuVpuDesign,
+)
+from .harness import render_table, run_experiment
+from .models import available_models
+from .npu import NPUTandem, render_timeline, trace_model
+
+_DESIGNS: Dict[str, Callable[[], object]] = {
+    "npu": NPUTandem,
+    "baseline1": CpuFallbackDesign,
+    "baseline2": DedicatedUnitsDesign,
+    "gemmini": lambda: GemminiDesign(1),
+    "gemmini32": lambda: GemminiDesign(32),
+    "vpu": TpuVpuDesign,
+    "jetson": lambda: GpuDesign(JETSON_XAVIER_NX),
+    "rtx2080ti": lambda: GpuDesign(RTX_2080_TI),
+    "a100-tensorrt": lambda: GpuDesign(A100, "tensorrt"),
+    "a100-cuda": lambda: GpuDesign(A100, "cuda"),
+}
+
+
+def _result_row(result) -> tuple:
+    return (result.design, result.total_seconds * 1e3,
+            result.energy_joules * 1e3, result.average_power_watts)
+
+
+def cmd_models(_args) -> int:
+    for name in available_models():
+        print(name)
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    design = _DESIGNS[args.design]()
+    result = design.evaluate(args.model)
+    print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
+                       [_result_row(result)],
+                       title=f"{args.model} on {args.design}"))
+    if args.per_op and result.per_op_seconds:
+        rows = sorted(result.per_op_seconds.items(), key=lambda kv: -kv[1])
+        print()
+        print(render_table(("operator", "seconds"), rows,
+                           title="non-GEMM time per operator"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    rows = [_result_row(_DESIGNS[name]().evaluate(args.model))
+            for name in _DESIGNS]
+    print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
+                       rows, title=f"{args.model} across design classes"))
+    return 0
+
+
+def cmd_compile(args) -> int:
+    from .compiler import dump_model
+    npu = NPUTandem()
+    model = npu.compile(args.model)
+    print(f"{args.model}: {len(model.blocks)} blocks, "
+          f"{model.total_instructions()} Tandem instruction words")
+    if args.disassemble:
+        shown = 0
+        for cb in model.blocks:
+            if cb.tile is None:
+                continue
+            print(f"\n--- {cb.name} (tiles={cb.tiles}) ---")
+            print(cb.tile.program.disassemble())
+            shown += 1
+            if shown >= args.disassemble:
+                break
+    if args.dump:
+        with open(args.dump, "w") as handle:
+            handle.write(dump_model(model))
+        print(f"wrote {args.dump}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    for exp_id in args.ids:
+        print(run_experiment(exp_id).render())
+        print()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    events = trace_model(args.model)
+    print(render_timeline(events[:args.events], width=args.width))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tandem Processor (ASPLOS 2024) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list benchmark models")
+
+    evaluate = sub.add_parser("evaluate", help="run one model on one design")
+    evaluate.add_argument("model")
+    evaluate.add_argument("--design", choices=sorted(_DESIGNS),
+                          default="npu")
+    evaluate.add_argument("--per-op", action="store_true",
+                          help="show the per-operator breakdown")
+
+    compare = sub.add_parser("compare", help="one model, every design class")
+    compare.add_argument("model")
+
+    compile_cmd = sub.add_parser("compile", help="compile + inspect programs")
+    compile_cmd.add_argument("model")
+    compile_cmd.add_argument("--disassemble", type=int, default=0,
+                             metavar="N", help="print N blocks' programs")
+    compile_cmd.add_argument("--dump", metavar="FILE",
+                             help="serialize the compiled model to JSON")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate paper figures/tables")
+    experiment.add_argument("ids", nargs="+")
+
+    trace = sub.add_parser("trace", help="ASCII execution timeline")
+    trace.add_argument("model")
+    trace.add_argument("--events", type=int, default=80)
+    trace.add_argument("--width", type=int, default=72)
+    return parser
+
+
+_COMMANDS = {
+    "models": cmd_models,
+    "evaluate": cmd_evaluate,
+    "compare": cmd_compare,
+    "compile": cmd_compile,
+    "experiment": cmd_experiment,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Top-level compilation (Figure 13).
+
+``compile_model`` turns a graph into a list of :class:`CompiledBlock`:
+per block, the tile count, one tile's lowered Tandem program (+ analytic
+metadata), and the GEMM layer's cost dimensions. The NPU executor
+(:mod:`repro.npu`) consumes this to produce end-to-end time/energy; the
+functional runner replays the same programs on real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import List, Optional
+
+from ..gemm import GemmCost, SystolicArray, SystolicParams, gemm_dims
+from ..graph import DTYPE_BYTES, Graph, Node
+from ..isa import Namespace
+from ..simulator.params import SimParams
+from .fusion import Block, external_outputs, form_blocks, split_block
+from .integer_ops import FRAC_BITS
+from .ir import CompileError, Resident, TileContext
+from .lowering import LoweredTile, lower_tile
+from .templates import emit_op
+from .tiling import search_tiles
+
+
+@dataclass
+class CompiledBlock:
+    """One execution block, ready for the execution controller."""
+
+    block: Block
+    tiles: int
+    tile: Optional[LoweredTile]          # None for GEMM-only blocks
+    gemm_cost: Optional[GemmCost]        # full-layer cost (all tiles)
+    stores: List[str] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.block.kind
+
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+
+@dataclass
+class CompiledModel:
+    graph: Graph
+    blocks: List[CompiledBlock]
+    sim_params: SimParams
+    gemm_params: SystolicParams
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def total_instructions(self) -> int:
+        return sum(len(b.tile.program) for b in self.blocks if b.tile is not None)
+
+
+def _gemm_layer_cost(node: Node, graph: Graph,
+                     array: SystolicArray) -> GemmCost:
+    out = graph.out_spec(node)
+    in_spec = graph.tensor(node.inputs[0])
+    m, n, k = gemm_dims(node, out, in_spec)
+    input_bytes = sum(graph.tensor(t).nbytes for t in node.inputs)
+    weight_bytes = sum(graph.tensor(t).nbytes for t in node.params)
+    return array.layer_cost(m, n, k, input_bytes, weight_bytes, out.nbytes)
+
+
+def _compile_block_tile(block: Block, graph: Graph, params: SimParams,
+                        tiles: int, frac_bits: int,
+                        special_functions: bool = False) -> LoweredTile:
+    ctx = TileContext(params.tandem, frac_bits, strict=(tiles == 1),
+                      special_functions=special_functions)
+    if block.gemm is not None:
+        out_name = block.gemm.outputs[0]
+        out_elems = graph.tensor(out_name).numel
+        tile_elems = max(1, ceil(out_elems / tiles))
+        if tile_elems > params.tandem.obuf_words:
+            raise CompileError(
+                f"GEMM tile of {tile_elems} words exceeds the Output BUF")
+        ctx.set_resident(out_name, Resident(Namespace.OBUF, 0,
+                                            (tile_elems,), (0,)))
+    op_ranges = []
+    for op in block.ops:
+        start = len(ctx.events)
+        emit_op(ctx, op, graph, tiles)
+        op_ranges.append((op.op_type, start, len(ctx.events)))
+    for name in external_outputs(block, graph):
+        if ctx.resident(name) is not None:
+            dtype = graph.tensor(name).dtype
+            ctx.store(name, element_bytes=DTYPE_BYTES[dtype])
+        # Tensors that were pure DRAM renames (reshape of off-chip data)
+        # or DAE-forwarded (Concat) are already off-chip.
+    return lower_tile(ctx, f"{block.name}_tile",
+                      reads_obuf=block.gemm is not None,
+                      op_ranges=op_ranges)
+
+
+def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
+                  gemm_params: Optional[SystolicParams] = None,
+                  frac_bits: int = FRAC_BITS,
+                  special_functions: bool = False) -> CompiledModel:
+    """Compile a graph for the NPU-Tandem (Table 3 defaults)."""
+    sim_params = sim_params or SimParams()
+    gemm_params = gemm_params or SystolicParams()
+    array = SystolicArray(gemm_params)
+
+    compiled: List[CompiledBlock] = []
+    pending = form_blocks(graph)
+    while pending:
+        block = pending.pop(0)
+        gemm_cost = (None if block.gemm is None
+                     else _gemm_layer_cost(block.gemm, graph, array))
+        if not block.ops:
+            compiled.append(CompiledBlock(block=block, tiles=1, tile=None,
+                                          gemm_cost=gemm_cost))
+            continue
+        try:
+            tiles, tile = search_tiles(
+                block, graph, sim_params.tandem,
+                lambda t: _compile_block_tile(block, graph, sim_params, t,
+                                              frac_bits, special_functions))
+        except CompileError as err:
+            if "IMM BUF" in str(err) and len(block.ops) > 1:
+                # Too many distinct constants for one bundle: split it.
+                pending = split_block(block) + pending
+                continue
+            raise
+        compiled.append(CompiledBlock(
+            block=block, tiles=tiles, tile=tile, gemm_cost=gemm_cost,
+            stores=external_outputs(block, graph)))
+    return CompiledModel(graph=graph, blocks=compiled,
+                         sim_params=sim_params, gemm_params=gemm_params)

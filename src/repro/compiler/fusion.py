@@ -1,0 +1,89 @@
+"""Block formation (Figure 10, step 0).
+
+The compiler breaks the DNN graph into *execution blocks*: (1) a single
+GEMM layer, (2) a group of bundled non-GEMM layers, or (3) a GEMM layer
+followed by a group of bundled non-GEMM layers. Blocks are the unit the
+execution controller dispatches and tiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..graph import Graph, Node
+
+
+@dataclass
+class Block:
+    """One execution block: optional GEMM node + bundled non-GEMM nodes."""
+
+    gemm: Optional[Node] = None
+    ops: List[Node] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        if self.gemm is not None and self.ops:
+            return "gemm_tandem"
+        if self.gemm is not None:
+            return "gemm"
+        return "tandem"
+
+    @property
+    def nodes(self) -> List[Node]:
+        return ([self.gemm] if self.gemm is not None else []) + self.ops
+
+    @property
+    def name(self) -> str:
+        anchor = self.gemm or (self.ops[0] if self.ops else None)
+        return f"block_{anchor.name}" if anchor else "block_empty"
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"Block({self.kind}, gemm={getattr(self.gemm, 'name', None)}, ops={len(self.ops)})"
+
+
+def form_blocks(graph: Graph) -> List[Block]:
+    """Greedy sequential bundling in topological order.
+
+    Every GEMM-class node opens a new block; the non-GEMM nodes that
+    follow it (until the next GEMM node) are fused into the block. Leading
+    non-GEMM nodes (e.g. embeddings) form a non-GEMM-only block.
+    """
+    blocks: List[Block] = []
+    current: Optional[Block] = None
+    for node in graph.topological_order():
+        if node.is_gemm:
+            if current is not None:
+                blocks.append(current)
+            current = Block(gemm=node)
+        else:
+            if current is None:
+                current = Block()
+            current.ops.append(node)
+    if current is not None:
+        blocks.append(current)
+    return blocks
+
+
+def external_outputs(block: Block, graph: Graph) -> List[str]:
+    """Tensors produced in the block that are consumed outside it."""
+    block_nodes: Set[str] = {n.name for n in block.nodes}
+    outputs: List[str] = []
+    graph_outputs = set(graph.graph_outputs)
+    for node in block.ops:
+        for out in node.outputs:
+            consumers = graph.consumers(out)
+            external = any(c.name not in block_nodes for c in consumers)
+            if external or out in graph_outputs or not consumers:
+                outputs.append(out)
+    return outputs
+
+
+def split_block(block: Block) -> List[Block]:
+    """Halve an over-capacity non-GEMM bundle (IMM BUF pressure)."""
+    if len(block.ops) <= 1:
+        raise ValueError(f"cannot split block {block.name} further")
+    mid = max(1, len(block.ops) // 2)
+    first = Block(gemm=block.gemm, ops=block.ops[:mid])
+    second = Block(gemm=None, ops=block.ops[mid:])
+    return [first, second]

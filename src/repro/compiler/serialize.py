@@ -1,0 +1,192 @@
+"""Serialization of compiled models (the deployable artifact).
+
+A :class:`~repro.compiler.compiler.CompiledModel` is flattened into a
+JSON-friendly dictionary: instruction words as hex, transfer/permute
+bindings, tile counts, and GEMM costs. ``load_compiled`` restores an
+executable-equivalent object (programs decode from their packed words,
+so this also proves the binary encoding is lossless for every compiled
+benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from ..gemm import GemmCost
+from ..isa import Namespace, TandemProgram
+from ..simulator.analytic import AnalyticNest, ProgramMeta
+from ..simulator.pipeline import BodyOpMeta
+from .ir import PermuteSlot, TransferSlot
+from .lowering import LoweredTile
+
+FORMAT_VERSION = 1
+
+
+def _transfer_to_dict(slot: TransferSlot) -> Dict:
+    return {
+        "direction": slot.direction,
+        "tensor": slot.tensor,
+        "ns": slot.ns.name,
+        "base": slot.base,
+        "elements": slot.elements,
+        "element_bytes": slot.element_bytes,
+        "pre_reshape": slot.pre_reshape,
+        "perm": slot.perm,
+        "pad": slot.pad,
+        "pad_value": slot.pad_value,
+        "region": slot.region,
+        "data_elements": slot.data_elements,
+    }
+
+
+def _transfer_from_dict(data: Dict) -> TransferSlot:
+    def tup(value):
+        if value is None:
+            return None
+        return tuple(tuple(v) if isinstance(v, list) else v for v in value)
+
+    return TransferSlot(
+        direction=data["direction"], tensor=data["tensor"],
+        ns=Namespace[data["ns"]], base=data["base"],
+        elements=data["elements"], element_bytes=data["element_bytes"],
+        pre_reshape=tup(data["pre_reshape"]), perm=tup(data["perm"]),
+        pad=tup(data["pad"]), pad_value=data["pad_value"],
+        region=tup(data["region"]), data_elements=data["data_elements"])
+
+
+def _permute_to_dict(slot: PermuteSlot) -> Dict:
+    return {
+        "src_ns": slot.src_ns.name, "src_base": slot.src_base,
+        "dst_ns": slot.dst_ns.name, "dst_base": slot.dst_base,
+        "shape": list(slot.shape), "perm": list(slot.perm),
+        "cross_lane": slot.cross_lane,
+    }
+
+
+def _permute_from_dict(data: Dict) -> PermuteSlot:
+    return PermuteSlot(
+        src_ns=Namespace[data["src_ns"]], src_base=data["src_base"],
+        dst_ns=Namespace[data["dst_ns"]], dst_base=data["dst_base"],
+        shape=tuple(data["shape"]), perm=tuple(data["perm"]),
+        cross_lane=data["cross_lane"])
+
+
+def _meta_to_dict(meta: ProgramMeta) -> Dict:
+    return {
+        "nests": [
+            {"counts": list(nest.counts),
+             "body": [[op.dst_inner_stride, list(op.src_inner_strides),
+                       op.mem_reads, op.mem_writes] for op in nest.body]}
+            for nest in meta.nests
+        ],
+        "config_instructions": meta.config_instructions,
+        "dram_loads": list(meta.dram_loads),
+        "dram_stores": list(meta.dram_stores),
+        "permute_words": meta.permute_words,
+        "permute_count": meta.permute_count,
+        "permute_cross_lane": meta.permute_cross_lane,
+    }
+
+
+def _meta_from_dict(data: Dict) -> ProgramMeta:
+    nests = [
+        AnalyticNest(
+            counts=tuple(nest["counts"]),
+            body=tuple(BodyOpMeta(dst, tuple(srcs), reads, writes)
+                       for dst, srcs, reads, writes in nest["body"]))
+        for nest in data["nests"]
+    ]
+    meta = ProgramMeta(nests=nests,
+                       config_instructions=data["config_instructions"],
+                       dram_loads=list(data["dram_loads"]),
+                       dram_stores=list(data["dram_stores"]),
+                       permute_words=data["permute_words"],
+                       permute_count=data.get("permute_count", 0),
+                       permute_cross_lane=data["permute_cross_lane"])
+    return meta
+
+
+def tile_to_dict(tile: LoweredTile) -> Dict:
+    return {
+        "program_name": tile.program.name,
+        "words": [f"{w:08x}" for w in tile.program.pack()],
+        "meta": _meta_to_dict(tile.meta),
+        "transfers": [_transfer_to_dict(t) for t in tile.transfers],
+        "permutes": [_permute_to_dict(p) for p in tile.permutes],
+        "imm_values": list(tile.imm_values),
+        "peak_words": tile.peak_words,
+        "op_metas": [[label, _meta_to_dict(meta)]
+                     for label, meta in tile.op_metas],
+        "obuf_release_fraction": tile.obuf_release_fraction,
+    }
+
+
+def tile_from_dict(data: Dict) -> LoweredTile:
+    program = TandemProgram.unpack(
+        data["program_name"], [int(w, 16) for w in data["words"]])
+    return LoweredTile(
+        program=program,
+        meta=_meta_from_dict(data["meta"]),
+        transfers=[_transfer_from_dict(t) for t in data["transfers"]],
+        permutes=[_permute_from_dict(p) for p in data["permutes"]],
+        imm_values=list(data["imm_values"]),
+        peak_words=data["peak_words"],
+        op_metas=[(label, _meta_from_dict(meta))
+                  for label, meta in data["op_metas"]],
+        obuf_release_fraction=data["obuf_release_fraction"])
+
+
+def dump_model(model) -> str:
+    """Serialize the deployable parts of a compiled model to JSON."""
+    blocks = []
+    for cb in model.blocks:
+        blocks.append({
+            "name": cb.name,
+            "kind": cb.kind,
+            "tiles": cb.tiles,
+            "tile": tile_to_dict(cb.tile) if cb.tile is not None else None,
+            "gemm_cost": (None if cb.gemm_cost is None else {
+                "compute_cycles": cb.gemm_cost.compute_cycles,
+                "dram_cycles": cb.gemm_cost.dram_cycles,
+                "macs": cb.gemm_cost.macs,
+                "dram_bytes": cb.gemm_cost.dram_bytes,
+                "energy_pj": cb.gemm_cost.energy_pj,
+            }),
+            "stores": list(cb.stores),
+        })
+    return json.dumps({
+        "format_version": FORMAT_VERSION,
+        "model": model.name,
+        "blocks": blocks,
+    }, indent=1)
+
+
+def load_blocks(text: str) -> List[Dict]:
+    """Load the serialized form; returns block dicts with live objects.
+
+    Each block dict carries ``tile`` (a :class:`LoweredTile` or None),
+    ``tiles``, ``kind``, ``gemm_cost`` (a :class:`GemmCost` or None).
+    """
+    data = json.loads(text)
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported compiled-model format {data.get('format_version')}")
+    blocks = []
+    for blk in data["blocks"]:
+        cost = None
+        if blk["gemm_cost"] is not None:
+            raw = blk["gemm_cost"]
+            cost = GemmCost(compute_cycles=raw["compute_cycles"],
+                            dram_cycles=raw["dram_cycles"], macs=raw["macs"],
+                            dram_bytes=raw["dram_bytes"],
+                            energy_pj=raw["energy_pj"])
+        blocks.append({
+            "name": blk["name"],
+            "kind": blk["kind"],
+            "tiles": blk["tiles"],
+            "tile": tile_from_dict(blk["tile"]) if blk["tile"] else None,
+            "gemm_cost": cost,
+            "stores": blk["stores"],
+        })
+    return blocks

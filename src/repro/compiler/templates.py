@@ -1,0 +1,600 @@
+"""Per-operator compilation templates (Figure 13, "operation templates").
+
+Each template lowers one non-GEMM graph node into the compiler IR for a
+single tile: Data Access Engine transfers, permute-engine activations,
+and Code Repeater loop nests of primitive INT32 statements. Complex
+operators are expanded through the integer recipes in
+:mod:`repro.compiler.integer_ops` (I-BERT / gemmlowp style).
+
+Layout conventions (the loop-interchange optimization of Section 6):
+reductions and window operators are compiled with the *parallel*
+dimension innermost and unit-stride so the SIMD lanes vectorize over
+independent outputs, never over a dependence chain:
+
+* Softmax / ReduceMean over the last axis: tiles are stored transposed
+  (columns-major), so lanes sweep rows.
+* Pooling / depth-wise convolution: tiles are stored channel-last
+  (H, W, C), so lanes sweep channels; the kernel window loops are the
+  outer levels of a 5-deep nest.
+"""
+
+from __future__ import annotations
+
+from math import ceil, prod
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..graph import Graph, Node
+from ..isa import AluFunc, ComparisonFunc, Namespace, Opcode
+from .integer_ops import (
+    FRAC_BITS,
+    UNARY_RECIPES,
+    Step,
+    abs_recipe,
+    ceil_recipe,
+    clip_recipe,
+    exp_recipe,
+    floor_recipe,
+    leaky_relu_recipe,
+    relu_recipe,
+    sign_recipe,
+    square_recipe,
+)
+from .ir import (
+    CompileError,
+    Resident,
+    Stmt,
+    TileContext,
+    TRef,
+    broadcast_views,
+    c_strides,
+    recipe_body,
+    view_ref,
+)
+
+INT32_MIN = -(1 << 31)
+
+TemplateFn = Callable[[TileContext, Node, Graph, int], None]
+TEMPLATES: Dict[str, TemplateFn] = {}
+
+
+def template(*op_types: str):
+    def wrap(fn: TemplateFn) -> TemplateFn:
+        for op in op_types:
+            TEMPLATES[op] = fn
+        return fn
+    return wrap
+
+
+def emit_op(ctx: TileContext, node: Node, graph: Graph, tiles: int = 1) -> None:
+    """Lower one non-GEMM node into ``ctx`` for one of ``tiles`` tiles."""
+    try:
+        fn = TEMPLATES[node.op_type]
+    except KeyError:
+        raise CompileError(
+            f"no template for operator {node.op_type!r}") from None
+    fn(ctx, node, graph, max(1, tiles))
+
+
+def _split(count: int, tiles: int) -> int:
+    return max(1, ceil(count / tiles))
+
+
+def _flat_ref(res: Resident, var: str) -> TRef:
+    return TRef(res.ns, res.base, {var: 1})
+
+
+# ---------------------------------------------------------------------------
+# Element-wise operators (flat layout, broadcast-aware)
+# ---------------------------------------------------------------------------
+_BINARY_ALU = {
+    "Add": AluFunc.ADD,
+    "Sub": AluFunc.SUB,
+    "Mul": AluFunc.MUL,
+    "Div": AluFunc.DIV,
+    "Min": AluFunc.MIN,
+    "Max": AluFunc.MAX,
+    "BitShift": AluFunc.RSHIFT,
+}
+_BINARY_CMP = {
+    "Greater": ComparisonFunc.GT,
+    "Equal": ComparisonFunc.EQ,
+    "Less": ComparisonFunc.LT,
+}
+
+
+def _binary_operands(node: Node, graph: Graph) -> List[Tuple[str, Tuple[int, ...]]]:
+    """(name, shape) of the two operands: activations first, then params."""
+    names = list(node.inputs) + list(node.params)
+    if len(names) < 2:
+        raise CompileError(f"{node.op_type} node {node.name} has <2 operands")
+    a, b = names[0], names[1]
+    return [(a, graph.tensor(a).shape), (b, graph.tensor(b).shape)]
+
+
+def _tiled_elementwise_views(ctx: TileContext, node: Node, graph: Graph,
+                             tiles: int, operands):
+    """Shared machinery: tiled loop nest + operand/output references."""
+    out = graph.out_spec(node)
+    loops, in_maps, out_map = broadcast_views(
+        out.shape, [shape for _, shape in operands])
+    # Distribute the tile split across loop levels, outermost first
+    # (one level may not have enough iterations to absorb it).
+    factors = {}
+    remaining = tiles
+    tiled_loops = []
+    for var, count in loops:
+        factor = min(remaining, count)
+        factors[var] = factor
+        tiled_loops.append((var, _split(count, factor)))
+        remaining = ceil(remaining / factor)
+    loops = tiled_loops
+    tile_points = prod(c for _, c in loops)
+
+    refs = []
+    for (name, shape), strides in zip(operands, in_maps):
+        full = prod(shape)
+        # An operand shrinks by the split factors of every loop it
+        # actually walks; broadcast axes (stride 0) keep it whole there.
+        shrink = prod(f for v, f in factors.items() if strides.get(v, 0) != 0)
+        elems = max(1, ceil(full / shrink))
+        res = ctx.source(name, (elems,))
+        refs.append(TRef(res.ns, res.base, strides))
+    out_res = ctx.dest(node.outputs[0], (tile_points,))
+    out_ref = TRef(out_res.ns, out_res.base, out_map)
+    return loops, refs, out_ref, tile_points
+
+
+def _emit_binary(ctx, node, graph, tiles, opcode, func):
+    operands = _binary_operands(node, graph)
+    loops, refs, out_ref, _pts = _tiled_elementwise_views(
+        ctx, node, graph, tiles, operands)
+    ctx.nest(loops, [Stmt(opcode, int(func), out_ref, refs[0], refs[1])])
+
+
+@template("Add", "Sub", "Mul", "Div", "Min", "Max", "BitShift")
+def t_binary(ctx, node, graph, tiles):
+    _emit_binary(ctx, node, graph, tiles, Opcode.ALU, _BINARY_ALU[node.op_type])
+
+
+@template("Greater", "Equal", "Less")
+def t_compare(ctx, node, graph, tiles):
+    _emit_binary(ctx, node, graph, tiles, Opcode.COMPARISON,
+                 _BINARY_CMP[node.op_type])
+
+
+@template("Where")
+def t_where(ctx, node, graph, tiles):
+    names = list(node.inputs) + list(node.params)
+    cond, a, b = names[0], names[1], names[2]
+    operands = [(cond, graph.tensor(cond).shape),
+                (a, graph.tensor(a).shape),
+                (b, graph.tensor(b).shape)]
+    loops, refs, out_ref, _pts = _tiled_elementwise_views(
+        ctx, node, graph, tiles, operands)
+    cond_ref, a_ref, b_ref = refs
+    ctx.nest(loops, [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), out_ref, b_ref),
+        Stmt(Opcode.ALU, int(AluFunc.COND_MOVE), out_ref, a_ref, cond_ref),
+    ])
+
+
+def _unary_recipe_steps(ctx: TileContext, node: Node) -> List[Step]:
+    op = node.op_type
+    if op in UNARY_RECIPES:
+        return UNARY_RECIPES[op](ctx.frac_bits)
+    if op == "Relu":
+        return relu_recipe()
+    if op == "LeakyRelu":
+        return leaky_relu_recipe(node.attr("alpha", 0.01), ctx.frac_bits)
+    if op == "Clip":
+        one = 1 << ctx.frac_bits
+        lo = int(round(node.attr("min", 0.0) * one))
+        hi = int(round(node.attr("max", 6.0) * one))
+        return clip_recipe(lo, hi)
+    if op == "Floor":
+        return floor_recipe(ctx.frac_bits)
+    if op == "Ceil":
+        return ceil_recipe(ctx.frac_bits)
+    if op == "Abs":
+        return abs_recipe()
+    if op == "Sign":
+        return sign_recipe()
+    if op == "Pow":
+        exponent = node.attr("exponent", 2.0)
+        if abs(exponent - 2.0) > 1e-9:
+            raise CompileError(f"Pow exponent {exponent} unsupported")
+        return square_recipe(ctx.frac_bits)
+    raise CompileError(f"no unary recipe for {op!r}")
+
+
+#: Operators a VPU-style special-function unit covers in one instruction.
+SPECIAL_FUNCTION_OPS = frozenset({
+    "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Reciprocal",
+})
+
+
+@template("Relu", "LeakyRelu", "Clip", "Floor", "Ceil", "Abs", "Sign", "Pow",
+          "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Reciprocal")
+def t_unary(ctx, node, graph, tiles):
+    out = graph.out_spec(node)
+    elems = _split(out.numel, tiles)
+    in_res = ctx.source(node.inputs[0], (elems,))
+    out_res = ctx.dest(node.outputs[0], (elems,))
+    var = "i"
+    loops = [(var, elems)]
+    if ctx.special_functions and node.op_type in SPECIAL_FUNCTION_OPS:
+        # One special-function instruction per element (VPU emulation).
+        body = [Stmt(Opcode.ALU, int(AluFunc.MOVE), _flat_ref(out_res, var),
+                     _flat_ref(in_res, var))]
+    else:
+        steps = _unary_recipe_steps(ctx, node)
+        body = recipe_body(ctx, steps, _flat_ref(in_res, var),
+                           _flat_ref(out_res, var), loops, elems)
+    ctx.nest(loops, body)
+
+
+# ---------------------------------------------------------------------------
+# Reductions over the last axis: Softmax, ReduceMean
+# ---------------------------------------------------------------------------
+def _rows_cols(shape: Sequence[int], axis: int) -> Tuple[int, int]:
+    axis = axis % len(shape)
+    if axis != len(shape) - 1:
+        raise CompileError(f"only last-axis reductions supported, got {axis}")
+    cols = shape[-1]
+    rows = prod(shape) // cols
+    return rows, cols
+
+
+@template("Softmax")
+def t_softmax(ctx, node, graph, tiles):
+    spec = graph.tensor(node.inputs[0])
+    rows, cols = _rows_cols(spec.shape, node.attr("axis", -1))
+    rows_t = _split(rows, tiles)
+    # Column-major tile so lanes vectorize over rows.
+    x = ctx.source(node.inputs[0], (rows_t, cols), layout=(1, 0))
+    out = ctx.dest(node.outputs[0], (rows_t, cols), layout=(1, 0))
+    x_ref = view_ref(x, ("c", "r"), {"c": rows_t, "r": 1})
+    out_ref = view_ref(out, ("c", "r"), {"c": rows_t, "r": 1})
+
+    m_ns, m_base = ctx.alloc(rows_t)
+    m_ref = TRef(m_ns, m_base, {"r": 1})
+    s_ns, s_base = ctx.alloc(rows_t)
+    s_ref = TRef(s_ns, s_base, {"r": 1})
+    e_ns, e_base = ctx.alloc(rows_t * cols)
+    e_ref = TRef(e_ns, e_base, {"c": rows_t, "r": 1})
+
+    # 1. Row maxima (for numerical stability, as I-BERT does).
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), m_ref, ctx.imm(INT32_MIN))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MAX), m_ref, m_ref, x_ref)])
+    # 2. e = i_exp(x - m).
+    t_ns, t_base = ctx.alloc(rows_t)
+    t_ref = TRef(t_ns, t_base, {"r": 1})
+    loops = [("c", cols), ("r", rows_t)]
+    body = [Stmt(Opcode.ALU, int(AluFunc.SUB), t_ref, x_ref, m_ref)]
+    if ctx.special_functions:
+        body.append(Stmt(Opcode.ALU, int(AluFunc.MOVE), e_ref, t_ref))
+    else:
+        body += recipe_body(ctx, exp_recipe(ctx.frac_bits), t_ref, e_ref,
+                            loops, rows_t * cols, temp_strides={"r": 1},
+                            temp_elements=rows_t)
+    ctx.nest(loops, body)
+    # 3. Row sums.
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), s_ref, ctx.imm(0))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.ADD), s_ref, s_ref, e_ref)])
+    # 4. out = (e << f) / s.
+    u_ns, u_base = ctx.alloc(rows_t)
+    u_ref = TRef(u_ns, u_base, {"r": 1})
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.LSHIFT), u_ref, e_ref,
+             ctx.imm(ctx.frac_bits)),
+        Stmt(Opcode.ALU, int(AluFunc.DIV), out_ref, u_ref, s_ref),
+    ])
+
+
+@template("ReduceMean")
+def t_reduce_mean(ctx, node, graph, tiles):
+    spec = graph.tensor(node.inputs[0])
+    rows, cols = _rows_cols(spec.shape, node.attr("axis", -1))
+    rows_t = _split(rows, tiles)
+    x = ctx.source(node.inputs[0], (rows_t, cols), layout=(1, 0))
+    out = ctx.dest(node.outputs[0], (rows_t,))
+    x_ref = view_ref(x, ("c", "r"), {"c": rows_t, "r": 1})
+    out_ref = _flat_ref(out, "r")
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), out_ref, ctx.imm(0))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.ADD), out_ref, out_ref, x_ref)])
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.DIV), out_ref, out_ref, ctx.imm(cols))])
+
+
+@template("GlobalAveragePool")
+def t_global_avgpool(ctx, node, graph, tiles):
+    n, c, h, w = graph.tensor(node.inputs[0]).shape
+    hw = h * w
+    c_t = _split(c, tiles)
+    out = ctx.dest(node.outputs[0], (c_t,))
+    out_ref = _flat_ref(out, "c")
+    ctx.nest([("c", c_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), out_ref, ctx.imm(0))])
+    existing = ctx.resident(node.inputs[0])
+    if existing is not None and existing.elements >= c_t * hw:
+        # In-place reduction over the producer's NCHW buffer: lanes
+        # vectorize over HW and combine through the lane-reduce tree —
+        # no relayout copy, no extra capacity.
+        x = ctx.source(node.inputs[0], (c_t, hw))
+        x_ref = view_ref(x, ("c", "k"), {"c": hw, "k": 1})
+        sum_ref = TRef(out.ns, out.base, {"c": 1, "k": 0})
+        ctx.nest([("c", c_t), ("k", hw)], [
+            Stmt(Opcode.ALU, int(AluFunc.ADD), sum_ref, sum_ref, x_ref)])
+    else:
+        # Off-chip input, streamed: HW is a reduction dimension (never
+        # tiled across blocks, Section 6), so it is consumed in row
+        # chunks with partial accumulation into out[c]. Each chunk is a
+        # channel-last (rows*W, C) tile so lanes vectorize over channels.
+        from .ir import TransferSlot
+        budget = max(c_t, ctx.params.interim_buf_words // 4)
+        rows_per_chunk = max(1, min(h, budget // max(1, c_t * w)))
+        ns, base = ctx.alloc(c_t * rows_per_chunk * w)
+        tensor = ctx.dram_alias.get(node.inputs[0], node.inputs[0])
+        row = 0
+        while row < h:
+            rows = min(rows_per_chunk, h - row)
+            chunk_hw = rows * w
+            ctx.add_transfer(TransferSlot(
+                direction="ld", tensor=tensor, ns=ns, base=base,
+                elements=c_t * chunk_hw,
+                pre_reshape=(c_t, chunk_hw), perm=(1, 0),
+                region=((0, n), (0, c_t), (row, row + rows), (0, w))
+                if tiles == 1 else None))
+            x_ref = TRef(ns, base, {"k": c_t, "c": 1})
+            acc_ref = TRef(out.ns, out.base, {"k": 0, "c": 1})
+            ctx.nest([("k", chunk_hw), ("c", c_t)], [
+                Stmt(Opcode.ALU, int(AluFunc.ADD), acc_ref, acc_ref, x_ref)])
+            row += rows
+    ctx.nest([("c", c_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.DIV), out_ref, out_ref, ctx.imm(hw))])
+
+
+# ---------------------------------------------------------------------------
+# Window operators: MaxPool / AveragePool / DepthwiseConv (5-deep nests)
+# ---------------------------------------------------------------------------
+def _window_setup(ctx, node, graph, tiles, pad_value):
+    """Load a channel-last padded input tile; returns geometry + refs."""
+    n, c, h, w = graph.tensor(node.inputs[0]).shape
+    kh, kw = node.attrs["kernel_shape"]
+    stride = node.attrs["strides"][0]
+    pad = node.attrs["pads"][0]
+    _n, oc, oh, ow = graph.out_spec(node).shape
+    if tiles == 1:
+        # Exact: whole input, padding materialized by the DAE fill logic.
+        x = ctx.source(node.inputs[0], (c, h, w), layout=(1, 2, 0),
+                       pad=((0, 0), (pad, pad), (pad, pad)),
+                       pad_value=pad_value)
+        hp, wp = h + 2 * pad, w + 2 * pad
+        return c, hp, wp, kh, kw, stride, oh, ow, x
+    # Cost model: tiles split output rows first, then channels (channels
+    # are independent for windows, so this never splits a reduction); the
+    # input tile carries its kernel halo (Section 6: tiles must cover all
+    # adjacent elements of the window).
+    tiles_oh = min(tiles, oh)
+    tiles_c = min(c, ceil(tiles / tiles_oh))
+    oh_t = _split(oh, tiles_oh)
+    c_t = _split(c, tiles_c)
+    h_t = min(h + 2 * pad, oh_t * stride + (kh - stride))
+    x = ctx.source(node.inputs[0], (c_t, h_t, w), layout=(1, 2, 0))
+    return c_t, h_t, w, kh, kw, stride, oh_t, ow, x
+
+
+@template("MaxPool", "AveragePool")
+def t_pool(ctx, node, graph, tiles):
+    is_max = node.op_type == "MaxPool"
+    pad_value = INT32_MIN if is_max else 0
+    c, hp, wp, kh, kw, stride, oh_t, ow, x = _window_setup(
+        ctx, node, graph, tiles, pad_value)
+    out = ctx.dest(node.outputs[0], (c, oh_t, ow), layout=(1, 2, 0))
+    loop_vars = ("kh", "kw", "oh", "ow", "c")
+    x_ref = TRef(x.ns, x.base, {
+        "kh": wp * c, "kw": c, "oh": stride * wp * c, "ow": stride * c, "c": 1})
+    out_ref = TRef(out.ns, out.base, {"oh": ow * c, "ow": c, "c": 1})
+    init = ctx.imm(INT32_MIN if is_max else 0)
+    ctx.nest([("i", oh_t * ow * c)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE),
+             TRef(out.ns, out.base, {"i": 1}), init)])
+    func = AluFunc.MAX if is_max else AluFunc.ADD
+    ctx.nest([("kh", kh), ("kw", kw), ("oh", oh_t), ("ow", ow), ("c", c)],
+             [Stmt(Opcode.ALU, int(func), out_ref, out_ref, x_ref)])
+    if not is_max:
+        ctx.nest([("i", oh_t * ow * c)], [
+            Stmt(Opcode.ALU, int(AluFunc.DIV),
+                 TRef(out.ns, out.base, {"i": 1}),
+                 TRef(out.ns, out.base, {"i": 1}), ctx.imm(kh * kw))])
+
+
+@template("DepthwiseConv")
+def t_depthwise(ctx, node, graph, tiles):
+    c, hp, wp, kh, kw, stride, oh_t, ow, x = _window_setup(
+        ctx, node, graph, tiles, 0)
+    weight = node.params[0]
+    w_res = ctx.source(weight, (c, 1, kh, kw), layout=(2, 3, 1, 0))
+    out = ctx.dest(node.outputs[0], (c, oh_t, ow), layout=(1, 2, 0))
+    x_ref = TRef(x.ns, x.base, {
+        "kh": wp * c, "kw": c, "oh": stride * wp * c, "ow": stride * c, "c": 1})
+    w_ref = TRef(w_res.ns, w_res.base, {"kh": kw * c, "kw": c, "c": 1})
+    out_ref = TRef(out.ns, out.base, {"oh": ow * c, "ow": c, "c": 1})
+    ctx.nest([("i", oh_t * ow * c)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE),
+             TRef(out.ns, out.base, {"i": 1}), ctx.imm(0))])
+    # The paper's canonical five-deep nest.
+    ctx.nest([("kh", kh), ("kw", kw), ("oh", oh_t), ("ow", ow), ("c", c)],
+             [Stmt(Opcode.ALU, int(AluFunc.MACC), out_ref, x_ref, w_ref)])
+
+
+# ---------------------------------------------------------------------------
+# Layout operators
+# ---------------------------------------------------------------------------
+@template("Transpose")
+def t_transpose(ctx, node, graph, tiles):
+    in_name = node.inputs[0]
+    spec = graph.tensor(in_name)
+    perm = tuple(node.attrs["perm"])
+    out_shape = tuple(spec.shape[p] for p in perm)
+    shape = _tile_shape(spec.shape, tiles)
+    # Off-chip inputs: the DAE gathers the permuted layout straight from
+    # DRAM. On-chip inputs: one permute-engine activation into a fresh
+    # buffer (source() dispatches on residency).
+    res = ctx.source(in_name, shape, layout=perm)
+    ctx.set_resident(node.outputs[0], Resident(
+        res.ns, res.base, tuple(shape[p] for p in perm),
+        tuple(range(len(perm)))))
+
+
+def _tile_shape(shape: Sequence[int], tiles: int) -> Tuple[int, ...]:
+    shape = list(shape)
+    for i, dim in enumerate(shape):
+        if dim > 1:
+            shape[i] = _split(dim, tiles)
+            break
+    return tuple(shape)
+
+
+@template("Reshape", "Flatten", "Split")
+def t_reshape(ctx, node, graph, tiles):
+    in_name, out_name = node.inputs[0], node.outputs[0]
+    out_shape = graph.out_spec(node).shape
+    existing = ctx.resident(in_name)
+    if existing is None:
+        # Pure metadata: downstream consumers read the same DRAM bytes.
+        ctx.dram_alias[out_name] = ctx.dram_alias.get(in_name, in_name)
+        return
+    if existing.layout != tuple(range(len(existing.shape))):
+        # A reshape is only a rename for C-contiguous data; fix layout first.
+        existing = ctx.source(in_name, existing.shape)
+    ctx.set_resident(out_name, Resident(
+        existing.ns, existing.base, tuple(out_shape),
+        tuple(range(len(out_shape)))))
+
+
+@template("Concat")
+def t_concat(ctx, node, graph, tiles):
+    """Pure data movement: each input is drained into its slice of the
+    concatenated DRAM tensor (the DAE's scatter pattern covers this)."""
+    from .ir import TransferSlot
+    axis = node.attr("axis", 1)
+    out_name = node.outputs[0]
+    out_shape = graph.out_spec(node).shape
+    offset = 0
+    for in_name in node.inputs:
+        spec = graph.tensor(in_name)
+        elems = _split(spec.numel, tiles)
+        res = ctx.source(in_name, (elems,))
+        region = tuple(
+            (offset, offset + spec.shape[axis]) if dim == axis else (0, size)
+            for dim, size in enumerate(out_shape))
+        ctx.add_transfer(TransferSlot(
+            direction="st", tensor=out_name, ns=res.ns, base=res.base,
+            elements=elems,
+            pre_reshape=spec.shape if tiles == 1 else None,
+            region=region))
+        offset += spec.shape[axis]
+
+
+@template("Resize")
+def t_resize(ctx, node, graph, tiles):
+    n, c, h, w = graph.tensor(node.inputs[0]).shape
+    scale = node.attr("scale", 2)
+    h_t = _split(h, tiles)
+    x = ctx.source(node.inputs[0], (c, h_t, w))
+    out = ctx.dest(node.outputs[0], (c, h_t * scale, w * scale))
+    x_strides = {"c": h_t * w, "h": w, "w": 1}
+    body = []
+    for a in range(scale):
+        for b in range(scale):
+            dst = TRef(out.ns,
+                       out.base + a * (w * scale) + b,
+                       {"c": h_t * w * scale * scale, "h": w * scale * scale,
+                        "w": scale})
+            body.append(Stmt(Opcode.ALU, int(AluFunc.MOVE), dst,
+                             TRef(x.ns, x.base, x_strides)))
+    ctx.nest([("c", c), ("h", h_t), ("w", w)], body)
+
+
+@template("Slice")
+def t_slice(ctx, node, graph, tiles):
+    in_name = node.inputs[0]
+    spec = graph.tensor(in_name)
+    out_shape = graph.out_spec(node).shape
+    axis = node.attr("axis", 0) % len(spec.shape)
+    start = node.attr("start", 0)
+    existing = ctx.resident(in_name)
+    out_elems = prod(out_shape)
+    if existing is not None and ctx.strict:
+        # Normalize to the logical C-order shape so axis strides apply.
+        existing = ctx.source(in_name, spec.shape)
+    else:
+        # Cost mode / off-chip: the DAE reads just the sliced region.
+        existing = None
+    if existing is None:
+        region = tuple(
+            (start, start + out_shape[d]) if d == axis else (0, spec.shape[d])
+            for d in range(len(spec.shape)))
+        from .ir import TransferSlot
+        ns, base = ctx.alloc(out_elems)
+        ctx.add_transfer(TransferSlot(
+            direction="ld", tensor=ctx.dram_alias.get(in_name, in_name),
+            ns=ns, base=base, elements=out_elems, region=region))
+        ctx.set_resident(node.outputs[0], Resident(
+            ns, base, tuple(out_shape), tuple(range(len(out_shape)))))
+        return
+    # Resident: a strided MOVE nest through the iterators.
+    in_strides = c_strides(existing.shape)
+    base_off = start * in_strides[axis]
+    loops = [(f"d{d}", out_shape[d]) for d in range(len(out_shape))]
+    src = TRef(existing.ns, existing.base + base_off,
+               {f"d{d}": in_strides[d] for d in range(len(out_shape))})
+    out_res = ctx.dest(node.outputs[0], tuple(out_shape))
+    out_strides = c_strides(list(out_shape))
+    dst = TRef(out_res.ns, out_res.base,
+               {f"d{d}": out_strides[d] for d in range(len(out_shape))})
+    ctx.nest(loops, [Stmt(Opcode.ALU, int(AluFunc.MOVE), dst, src)])
+
+
+@template("Gather")
+def t_gather(ctx, node, graph, tiles):
+    # Embedding lookup: the DAE streams one table row per token. This
+    # template is cost-only (the benchmarks never run Gather through the
+    # functional machine); the gathered rows land resident like a load.
+    out = graph.out_spec(node)
+    elems = _split(out.numel, tiles)
+    table = node.params[0] if node.params else node.inputs[0]
+    from .ir import TransferSlot
+    ns, base = ctx.alloc(elems)
+    ctx.add_transfer(TransferSlot(
+        direction="ld", tensor=table, ns=ns, base=base, elements=elems))
+    ctx.set_resident(node.outputs[0], Resident(ns, base, (elems,), (0,)))
+
+
+# ---------------------------------------------------------------------------
+# Type conversion
+# ---------------------------------------------------------------------------
+@template("Cast")
+def t_cast(ctx, node, graph, tiles):
+    out = graph.out_spec(node)
+    elems = _split(out.numel, tiles)
+    in_res = ctx.source(node.inputs[0], (elems,))
+    out_res = ctx.dest(node.outputs[0], (elems,))
+    ctx.uses_cast = True
+    shift = node.attr("shift", 0)
+    var = "i"
+    if shift:
+        body = [Stmt(Opcode.ALU, int(AluFunc.RSHIFT), _flat_ref(out_res, var),
+                     _flat_ref(in_res, var), ctx.imm(shift))]
+    else:
+        body = [Stmt(Opcode.ALU, int(AluFunc.MOVE), _flat_ref(out_res, var),
+                     _flat_ref(in_res, var))]
+    nest = ctx.nest([(var, elems)], body)
+    nest.cast_to = graph.tensor(node.outputs[0]).dtype  # type: ignore[attr-defined]

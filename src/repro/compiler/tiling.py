@@ -1,0 +1,64 @@
+"""Tiling optimization (Section 6).
+
+Two rules from the paper:
+
+* **Never tile reduction dimensions** of the GEMM operator — the Tandem
+  Processor must see complete (not partial) accumulator results, so tiles
+  split only the output rows. This falls out naturally here: the GEMM
+  cost model tiles M x N over the array, and the block tile count divides
+  the *output* elements.
+* **Tiles must be big enough** to cover the non-GEMM operators' adjacency
+  (window halos are folded into the templates' input shapes) **and small
+  enough** to fit the Output BUF (double-buffered) and the Interim BUFs.
+
+The optimizer searches for the smallest tile count satisfying both: it
+starts from the Output BUF bound and doubles until the block compiles
+within the Interim BUF capacity (the template layer raises
+:class:`CompileError` on overflow, so the search is exact rather than
+heuristic).
+"""
+
+from __future__ import annotations
+
+from math import ceil
+from typing import Callable, Tuple
+
+from ..graph import Graph
+from ..simulator.params import TandemParams
+from .fusion import Block
+from .ir import CompileError
+
+#: Upper bound on the doubling search; 2^20 tiles would mean a broken model.
+_MAX_DOUBLINGS = 20
+
+
+def initial_tiles(block: Block, graph: Graph, params: TandemParams) -> int:
+    """Lower bound on the tile count from the Output BUF capacity."""
+    if block.gemm is None:
+        return 1
+    out_words = graph.out_spec(block.gemm).numel
+    budget = params.obuf_words // 2  # double buffering (Section 4.2)
+    return max(1, ceil(out_words / budget))
+
+
+def search_tiles(block: Block, graph: Graph, params: TandemParams,
+                 try_compile: Callable[[int], object]) -> Tuple[int, object]:
+    """Find the smallest feasible tile count; returns (tiles, compiled).
+
+    ``try_compile(tiles)`` must either return the compiled tile or raise
+    :class:`CompileError` when the tile does not fit on-chip.
+    """
+    tiles = initial_tiles(block, graph, params)
+    last_error: CompileError = CompileError("no attempt made")
+    for _ in range(_MAX_DOUBLINGS):
+        try:
+            return tiles, try_compile(tiles)
+        except CompileError as err:
+            if "IMM BUF" in str(err):
+                # More tiles cannot reduce constant pressure.
+                raise
+            last_error = err
+            tiles *= 2
+    raise CompileError(
+        f"block {block.name} does not fit on-chip even with {tiles} tiles: "
+        f"{last_error}")

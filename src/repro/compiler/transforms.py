@@ -1,0 +1,125 @@
+"""Loop transformations (Section 6, "Dependency relaxation").
+
+The Tandem Processor has no hardware dependency checking; the compiler
+guarantees hazard-freedom. Two classic transforms from the paper:
+
+* **loop interchange** — reorders nest levels (e.g. moving a reduction
+  outward so lanes sweep independent outputs); legal when the body is
+  point-wise independent across the interchanged levels.
+* **loop fission** — splits a multi-instruction body into consecutive
+  single-instruction nests; legal when later body instructions only
+  consume values earlier instructions produced *at the same iteration
+  point* (exactly the discipline the templates follow).
+
+Both operate on the :class:`~repro.compiler.ir.Nest` IR and preserve the
+machine-visible result; a hazard checker validates the required
+independence so transforms fail loudly instead of miscompiling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from .ir import CompileError, Nest, Stmt, TRef
+
+
+def _writes(stmt: Stmt) -> TRef:
+    return stmt.dst
+
+def _reads(stmt: Stmt) -> List[TRef]:
+    refs = [stmt.src1]
+    if stmt.src2 is not None:
+        refs.append(stmt.src2)
+    return refs
+
+
+def _same_walk(a: TRef, b: TRef, loop_vars: Sequence[str]) -> bool:
+    """True when two refs address the same element at every point."""
+    return (a.ns == b.ns and a.base == b.base
+            and all(a.stride(v) == b.stride(v) for v in loop_vars))
+
+
+def _may_overlap(a: TRef, b: TRef) -> bool:
+    """Conservative aliasing: same namespace means possible overlap,
+    unless both walk identical strides from different bases (disjoint
+    buffers the allocator laid out)."""
+    if a.ns != b.ns:
+        return False
+    return True
+
+
+def is_pointwise_parallel(nest: Nest) -> bool:
+    """True when every iteration point is independent of every other.
+
+    Sufficient condition used here: each body instruction's destination
+    walks *every* loop level the nest iterates (no stride-0 accumulation
+    into a shared location), so distinct points write distinct elements.
+    """
+    loop_vars = [v for v, _ in nest.loops]
+    for stmt in nest.body:
+        dst = _writes(stmt)
+        for var, count in nest.loops:
+            if count > 1 and dst.stride(var) == 0:
+                return False
+    return True
+
+
+def interchange(nest: Nest, order: Sequence[int]) -> Nest:
+    """Reorder loop levels by ``order`` (a permutation of level indices).
+
+    Raises :class:`CompileError` when the nest carries a loop-level
+    dependence (an accumulation), where reordering would change results
+    relative to the Code Repeater's point-major replay for reads of the
+    accumulator — except that pure accumulations (dst also a source with
+    the same walk) are order-insensitive for associative ops; we accept
+    only the fully parallel case to stay conservative.
+    """
+    if sorted(order) != list(range(len(nest.loops))):
+        raise CompileError(f"{list(order)} is not a permutation of nest levels")
+    if not is_pointwise_parallel(nest):
+        raise CompileError(
+            "interchange on a nest with a shared-destination dependence")
+    loops = [nest.loops[i] for i in order]
+    return Nest(loops=loops, body=list(nest.body), cast_to=nest.cast_to)
+
+
+def fission(nest: Nest) -> List[Nest]:
+    """Split an N-instruction body into N single-instruction nests.
+
+    Legality (checked): instruction-major order equals point-major order
+    when no instruction reads, at point p, a location that a *later*
+    instruction writes at any point — conservatively enforced as: every
+    read of a namespace written by a later instruction must be the same
+    exact walk (read-after-write of the same element is fine because it
+    is then produced by an *earlier* instruction, which fission keeps
+    earlier).
+    """
+    loop_vars = [v for v, _ in nest.loops]
+    for i, stmt in enumerate(nest.body):
+        for later in nest.body[i + 1:]:
+            dst = _writes(later)
+            for read in _reads(stmt):
+                if not _may_overlap(read, dst):
+                    continue
+                if _same_walk(read, dst, loop_vars):
+                    # stmt reads what `later` will overwrite at the same
+                    # point: point-major order sees the old value only
+                    # within the point, instruction-major sees all-new.
+                    raise CompileError(
+                        "fission would break a write-after-read hazard")
+                # Different walks over the same namespace: require
+                # disjoint base regions to rule out cross-point hazards.
+                if read.base == dst.base:
+                    raise CompileError(
+                        "fission cannot prove independence of overlapping "
+                        "walks")
+    return [Nest(loops=list(nest.loops), body=[stmt], cast_to=nest.cast_to)
+            for stmt in nest.body]
+
+
+def fissionable(nest: Nest) -> bool:
+    try:
+        fission(nest)
+    except CompileError:
+        return False
+    return True

@@ -1,0 +1,13 @@
+"""Systolic-array GEMM unit simulator."""
+
+from .buffers import BufferBudget, budget_from_params
+from .systolic import GemmCost, SystolicArray, SystolicParams, gemm_dims
+
+__all__ = [
+    "BufferBudget",
+    "GemmCost",
+    "SystolicArray",
+    "SystolicParams",
+    "budget_from_params",
+    "gemm_dims",
+]

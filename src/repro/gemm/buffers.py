@@ -1,0 +1,34 @@
+"""Capacity model for the GEMM unit's on-chip buffers.
+
+Used by the tiling optimizer: a fused block's tile must fit the weight /
+input scratchpads on the GEMM side and the Output BUF + Interim BUFs on
+the Tandem side simultaneously (Section 6, "Tiling optimization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .systolic import SystolicParams
+
+
+@dataclass(frozen=True)
+class BufferBudget:
+    """Byte budgets relevant to one fused block's tile."""
+
+    weight_bytes: int
+    input_bytes: int
+    output_buf_bytes: int
+
+    def fits_outputs(self, tile_output_bytes: int) -> bool:
+        # Double buffering halves the usable Output BUF (Section 4.2).
+        return tile_output_bytes <= self.output_buf_bytes // 2
+
+
+def budget_from_params(params: SystolicParams) -> BufferBudget:
+    spad_bytes = params.weight_spad_kb * 1024
+    return BufferBudget(
+        weight_bytes=spad_bytes // 2,
+        input_bytes=spad_bytes // 2,
+        output_buf_bytes=params.accumulator_kb * 1024,
+    )

@@ -1,0 +1,42 @@
+"""ONNX-like graph IR substrate.
+
+Everything above this layer (models, compiler, baselines, analysis) works
+in terms of :class:`Graph`, :class:`Node`, and :class:`TensorSpec`.
+"""
+
+from .builder import GraphBuilder, conv_out_hw
+from .model import Graph, GraphError, NodeCost
+from .node import Node, conv_macs
+from .ops import (
+    NON_GEMM_CLASSES,
+    TABLE1_EXAMPLES,
+    OpClass,
+    OpInfo,
+    all_ops,
+    class_of,
+    is_gemm_op,
+    is_registered,
+    op_info,
+)
+from .tensor import DTYPE_BYTES, TensorSpec
+
+__all__ = [
+    "DTYPE_BYTES",
+    "Graph",
+    "GraphBuilder",
+    "GraphError",
+    "Node",
+    "NodeCost",
+    "NON_GEMM_CLASSES",
+    "OpClass",
+    "OpInfo",
+    "TABLE1_EXAMPLES",
+    "TensorSpec",
+    "all_ops",
+    "class_of",
+    "conv_macs",
+    "conv_out_hw",
+    "is_gemm_op",
+    "is_registered",
+    "op_info",
+]

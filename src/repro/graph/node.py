@@ -1,0 +1,57 @@
+"""Graph nodes: one operator application with named tensor edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import prod
+from typing import Any, Dict, List
+
+from .ops import OpClass, OpInfo, op_info
+
+
+@dataclass
+class Node:
+    """One operator instance in a model graph.
+
+    ``inputs``/``outputs`` are tensor names resolved against the owning
+    :class:`~repro.graph.model.Graph`. ``attrs`` carries ONNX-style
+    attributes (kernel_shape, strides, axis, ...). Weight/constant inputs
+    are listed in ``params`` rather than ``inputs`` so dataflow analyses
+    see only activation edges.
+    """
+
+    name: str
+    op_type: str
+    inputs: List[str]
+    outputs: List[str]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    params: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Fails fast on unregistered operators.
+        op_info(self.op_type)
+
+    @property
+    def info(self) -> OpInfo:
+        return op_info(self.op_type)
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.info.op_class
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.info.is_gemm
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return self.attrs.get(key, default)
+
+
+def conv_macs(node: Node, out_shape) -> int:
+    """MAC count of a Conv/DepthwiseConv node given its output shape."""
+    kh, kw = node.attrs["kernel_shape"]
+    if node.op_type == "DepthwiseConv":
+        channels_in_per_out = 1
+    else:
+        channels_in_per_out = node.attrs["in_channels"] // node.attrs.get("groups", 1)
+    return prod(out_shape) * kh * kw * channels_in_per_out

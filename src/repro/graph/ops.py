@@ -1,0 +1,192 @@
+"""Operator registry.
+
+Mirrors Table 1 of the paper: every operator the seven benchmark DNNs use,
+classified as GEMM or one of the five non-GEMM classes. Each registered
+operator also carries a cost descriptor (arithmetic ops per output
+element, arity, whether it reduces) used by the roofline analysis and the
+baseline performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+
+class OpClass(Enum):
+    """Operator classes from Table 1 (plus GEMM)."""
+
+    GEMM = "gemm"
+    ELEMENTWISE_MATH = "element-wise mathematical"
+    ACTIVATION = "element-wise activation"
+    REDUCTION = "reduction-based"
+    LAYOUT = "data layout transformation"
+    TYPE_CONVERSION = "type conversion"
+
+
+#: Non-GEMM classes in Table 1 order (used by the operator-census figures).
+NON_GEMM_CLASSES = (
+    OpClass.ELEMENTWISE_MATH,
+    OpClass.ACTIVATION,
+    OpClass.REDUCTION,
+    OpClass.LAYOUT,
+    OpClass.TYPE_CONVERSION,
+)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static description of one operator type.
+
+    ``ops_per_element`` is the count of primitive arithmetic operations a
+    scalar machine performs per *output* element (used for roofline
+    arithmetic intensity and CPU/GPU cost models). For reductions it is
+    the amortized per-output cost and ``reduction_factor_attr`` names the
+    node attribute holding the number of inputs folded into each output.
+    """
+
+    name: str
+    op_class: OpClass
+    arity: int = 1
+    ops_per_element: float = 1.0
+    is_reduction: bool = False
+    is_layout_only: bool = False
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_gemm(self) -> bool:
+        return self.op_class is OpClass.GEMM
+
+
+_REGISTRY: Dict[str, OpInfo] = {}
+
+
+def register(info: OpInfo) -> OpInfo:
+    if info.name in _REGISTRY:
+        raise ValueError(f"operator {info.name!r} registered twice")
+    _REGISTRY[info.name] = info
+    return info
+
+
+def op_info(name: str) -> OpInfo:
+    """Look up an operator; raises KeyError with a helpful message."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown operator {name!r}; known: {known}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def all_ops() -> Dict[str, OpInfo]:
+    return dict(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# GEMM-class operators
+# --------------------------------------------------------------------------
+register(OpInfo("Conv", OpClass.GEMM, arity=2, ops_per_element=2.0))
+register(OpInfo("MatMul", OpClass.GEMM, arity=2, ops_per_element=2.0))
+register(OpInfo("Gemm", OpClass.GEMM, arity=2, ops_per_element=2.0))
+
+# --------------------------------------------------------------------------
+# Element-wise mathematical operators (Table 1, row 1)
+# --------------------------------------------------------------------------
+register(OpInfo("Add", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Sub", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Mul", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Div", OpClass.ELEMENTWISE_MATH, arity=2, ops_per_element=4.0))
+register(OpInfo("Exp", OpClass.ELEMENTWISE_MATH, ops_per_element=8.0))
+register(OpInfo("Sqrt", OpClass.ELEMENTWISE_MATH, ops_per_element=6.0))
+register(OpInfo("Floor", OpClass.ELEMENTWISE_MATH))
+register(OpInfo("Ceil", OpClass.ELEMENTWISE_MATH))
+register(OpInfo("Greater", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Equal", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Less", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Pow", OpClass.ELEMENTWISE_MATH, arity=2, ops_per_element=4.0))
+register(OpInfo("Reciprocal", OpClass.ELEMENTWISE_MATH, ops_per_element=4.0))
+register(OpInfo("Erf", OpClass.ELEMENTWISE_MATH, ops_per_element=10.0))
+register(OpInfo("Sign", OpClass.ELEMENTWISE_MATH))
+register(OpInfo("Abs", OpClass.ELEMENTWISE_MATH))
+register(OpInfo("Min", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Max", OpClass.ELEMENTWISE_MATH, arity=2))
+register(OpInfo("Where", OpClass.ELEMENTWISE_MATH, arity=3))
+
+# --------------------------------------------------------------------------
+# Element-wise activation functions (Table 1, row 2)
+# --------------------------------------------------------------------------
+register(OpInfo("Relu", OpClass.ACTIVATION))
+register(OpInfo("LeakyRelu", OpClass.ACTIVATION, ops_per_element=2.0))
+register(OpInfo("Clip", OpClass.ACTIVATION, ops_per_element=2.0))
+register(OpInfo("Tanh", OpClass.ACTIVATION, ops_per_element=12.0))
+register(OpInfo("Sigmoid", OpClass.ACTIVATION, ops_per_element=10.0))
+register(OpInfo("Gelu", OpClass.ACTIVATION, ops_per_element=11.0))
+
+# --------------------------------------------------------------------------
+# Reduction-based operators (Table 1, row 3)
+# --------------------------------------------------------------------------
+register(
+    OpInfo(
+        "DepthwiseConv",
+        OpClass.REDUCTION,
+        arity=2,
+        ops_per_element=2.0,
+        is_reduction=True,
+    )
+)
+register(OpInfo("MaxPool", OpClass.REDUCTION, ops_per_element=1.0, is_reduction=True))
+register(
+    OpInfo("AveragePool", OpClass.REDUCTION, ops_per_element=1.0, is_reduction=True)
+)
+register(
+    OpInfo(
+        "GlobalAveragePool", OpClass.REDUCTION, ops_per_element=1.0, is_reduction=True
+    )
+)
+register(OpInfo("ReduceMean", OpClass.REDUCTION, ops_per_element=1.0, is_reduction=True))
+register(OpInfo("Softmax", OpClass.REDUCTION, ops_per_element=12.0, is_reduction=True))
+
+# --------------------------------------------------------------------------
+# Data layout transformation (Table 1, row 4)
+# --------------------------------------------------------------------------
+register(OpInfo("Transpose", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Reshape", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Concat", OpClass.LAYOUT, arity=2, is_layout_only=True))
+register(OpInfo("Resize", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Flatten", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Split", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Slice", OpClass.LAYOUT, is_layout_only=True))
+register(OpInfo("Gather", OpClass.LAYOUT, is_layout_only=True))
+
+# --------------------------------------------------------------------------
+# Type conversion (Table 1, row 5)
+# --------------------------------------------------------------------------
+register(OpInfo("Cast", OpClass.TYPE_CONVERSION))
+register(OpInfo("BitShift", OpClass.TYPE_CONVERSION, arity=2))
+
+
+def class_of(name: str) -> OpClass:
+    return op_info(name).op_class
+
+
+def is_gemm_op(name: str) -> bool:
+    return op_info(name).is_gemm
+
+
+#: Table 1 verbatim: operator examples per class, for the Table 1 bench.
+TABLE1_EXAMPLES: Dict[OpClass, tuple] = {
+    OpClass.ELEMENTWISE_MATH: (
+        "Add", "Sub", "Mul", "Exp", "Sqrt", "Floor", "Ceil", "Greater",
+        "Equal", "Less", "Pow", "Reciprocal",
+    ),
+    OpClass.ACTIVATION: ("Relu", "LeakyRelu", "Clip", "Tanh", "Sigmoid", "Gelu"),
+    OpClass.REDUCTION: (
+        "DepthwiseConv", "MaxPool", "GlobalAveragePool", "ReduceMean", "Softmax",
+    ),
+    OpClass.LAYOUT: ("Transpose", "Reshape", "Concat"),
+    OpClass.TYPE_CONVERSION: ("Cast", "BitShift"),
+}

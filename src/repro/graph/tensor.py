@@ -1,0 +1,60 @@
+"""Tensor metadata for the graph IR.
+
+The IR carries *specs* (shape + dtype), not values. Values only appear
+inside the functional simulator and the numpy reference executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import prod
+from typing import Tuple
+
+#: Bytes per element for every dtype the stack understands. The GEMM unit
+#: multiplies in INT8 and accumulates in INT32 (Table 3); the Tandem
+#: Processor computes in INT32; fixed-point casts target FXP16/8/4.
+DTYPE_BYTES = {
+    "int8": 1,
+    "int16": 2,
+    "int32": 4,
+    "fxp4": 1,  # stored one-per-byte in our model; packing is a cast detail
+    "fxp8": 1,
+    "fxp16": 2,
+    "fxp32": 4,
+    "fp32": 4,
+}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Shape + dtype of one tensor edge in the graph."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str = "int32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in DTYPE_BYTES:
+            raise ValueError(f"unknown dtype {self.dtype!r} for tensor {self.name!r}")
+        if any(d <= 0 for d in self.shape):
+            raise ValueError(f"non-positive dim in shape {self.shape} of {self.name!r}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def numel(self) -> int:
+        return prod(self.shape) if self.shape else 1
+
+    @property
+    def nbytes(self) -> int:
+        return self.numel * DTYPE_BYTES[self.dtype]
+
+    def with_shape(self, shape: Tuple[int, ...], name: str) -> "TensorSpec":
+        """Derive a tensor with the same dtype but a new shape/name."""
+        return TensorSpec(name=name, shape=tuple(shape), dtype=self.dtype)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        dims = "x".join(str(d) for d in self.shape)
+        return f"{self.name}:{self.dtype}[{dims}]"

@@ -1,0 +1,20 @@
+"""Experiment harness: figure/table registry + paper-vs-measured reports."""
+
+from .experiments import (
+    EXPERIMENTS,
+    Experiment,
+    all_experiment_ids,
+    run_experiment,
+)
+from .paper_data import PAPER
+from .report import paper_vs_measured, render_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "PAPER",
+    "all_experiment_ids",
+    "paper_vs_measured",
+    "render_table",
+    "run_experiment",
+]

@@ -1,0 +1,20 @@
+"""Render every experiment: ``python -m repro.harness [ids...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import all_experiment_ids, run_experiment
+
+
+def main(argv) -> int:
+    ids = argv or all_experiment_ids()
+    for exp_id in ids:
+        experiment = run_experiment(exp_id)
+        print(experiment.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,664 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment recomputes its figure from the library and pairs the
+measured numbers with the paper's reported ones. The benchmark suite
+(``benchmarks/``) runs these and asserts the *shape* (who wins, rough
+factors); ``python -m repro.harness`` renders EXPERIMENTS.md content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable, Dict, List, Tuple
+
+from .. import analysis
+from ..baselines import (
+    A100,
+    JETSON_XAVIER_NX,
+    RTX_2080_TI,
+    CpuFallbackDesign,
+    DedicatedUnitsDesign,
+    GemminiDesign,
+    GpuDesign,
+    TpuVpuDesign,
+)
+from ..graph import NON_GEMM_CLASSES, TABLE1_EXAMPLES, OpClass
+from ..models import DISPLAY_NAMES, MODEL_ORDER, build_model
+from ..npu import NPUTandem, iso_a100_config, table3_config
+from ..results import RunResult
+from .paper_data import PAPER
+from .report import paper_vs_measured, render_table
+
+
+@dataclass
+class Experiment:
+    id: str
+    title: str
+    summary: Dict[str, Tuple[object, object]]  # metric -> (paper, measured)
+    table: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [paper_vs_measured(self.summary, f"{self.id}: {self.title}")]
+        if self.table:
+            parts.append(self.table)
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+
+EXPERIMENTS: Dict[str, Callable[[], Experiment]] = {}
+
+
+def experiment(exp_id: str):
+    def wrap(fn: Callable[[], Experiment]) -> Callable[[], Experiment]:
+        EXPERIMENTS[exp_id] = fn
+        return fn
+    return wrap
+
+
+def run_experiment(exp_id: str) -> Experiment:
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; known: {known}") from None
+    return fn()
+
+
+def all_experiment_ids() -> List[str]:
+    return sorted(EXPERIMENTS)
+
+
+# ---------------------------------------------------------------------------
+# Shared (cached) evaluations
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def npu_results() -> Dict[str, RunResult]:
+    npu = NPUTandem()
+    return {m: npu.evaluate(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def baseline1_results() -> Dict[str, RunResult]:
+    design = CpuFallbackDesign()
+    return {m: design.evaluate(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def baseline2_results() -> Dict[str, RunResult]:
+    design = DedicatedUnitsDesign()
+    return {m: design.evaluate(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def gemmini_results(cores: int) -> Dict[str, RunResult]:
+    design = GemminiDesign(cores)
+    return {m: design.evaluate(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def vpu_ladders() -> Dict[str, Dict[str, RunResult]]:
+    design = TpuVpuDesign()
+    return {m: design.ablation_ladder(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def gpu_results(which: str, mode: str) -> Dict[str, RunResult]:
+    params = {"jetson": JETSON_XAVIER_NX, "rtx": RTX_2080_TI,
+              "a100": A100}[which]
+    design = GpuDesign(params, mode)
+    return {m: design.evaluate(m) for m in MODEL_ORDER}
+
+
+@lru_cache(maxsize=None)
+def scaled_npu_results() -> Dict[str, RunResult]:
+    npu = NPUTandem(iso_a100_config())
+    return {m: npu.evaluate(m) for m in MODEL_ORDER}
+
+
+def _avg(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+@experiment("table1")
+def table1_operator_classes() -> Experiment:
+    rows = []
+    measured_classes = {}
+    for cls in NON_GEMM_CLASSES:
+        used = set()
+        for model in MODEL_ORDER:
+            for node in build_model(model).nodes:
+                if node.op_class is cls:
+                    used.add(node.op_type)
+        measured_classes[cls] = used
+        rows.append((cls.value, ", ".join(sorted(used))))
+    from ..compiler import TEMPLATES
+    summary = {}
+    for cls, examples in TABLE1_EXAMPLES.items():
+        compilable = sum(1 for op in examples if op in TEMPLATES)
+        summary[f"{cls.name.lower()}_examples_compilable"] = (
+            len(examples), compilable)
+    return Experiment(
+        id="table1",
+        title="Non-GEMM operator classes across the benchmark suite",
+        summary=summary,
+        table=render_table(("class", "operators used by the 7 benchmarks"),
+                           rows))
+
+
+@experiment("table2")
+def table2_design_classes() -> Experiment:
+    rows = [
+        ("offchip CPU fallback", "no", "no", "yes", "yes"),
+        ("dedicated on-chip units", "yes", "yes", "no", "no"),
+        ("on-chip RISC-V core", "partial", "partial", "yes", "partial"),
+        ("general-purpose vector unit", "yes", "partial", "yes", "no"),
+        ("Tandem Processor (this work)", "yes", "yes", "yes", "yes"),
+    ]
+    # The library instantiates every class as an executable design point.
+    implemented = {
+        "offchip CPU fallback": CpuFallbackDesign,
+        "dedicated on-chip units": DedicatedUnitsDesign,
+        "on-chip RISC-V core": GemminiDesign,
+        "general-purpose vector unit": TpuVpuDesign,
+        "Tandem Processor (this work)": NPUTandem,
+    }
+    summary = {"design_classes_implemented": (5, len(implemented))}
+    return Experiment(
+        id="table2",
+        title="Design classes for non-GEMM support (capability matrix)",
+        summary=summary,
+        table=render_table(
+            ("design class", "in tandem", "specialized", "programmable",
+             "exec control"), rows))
+
+
+@experiment("table3")
+def table3_configuration() -> Experiment:
+    config = table3_config()
+    paper = PAPER["table3"]
+    tandem = config.sim.tandem
+    summary = {
+        "systolic_dims": (paper["systolic_dims"],
+                          (config.gemm.rows, config.gemm.cols)),
+        "tandem_lanes": (paper["tandem_lanes"], tandem.lanes),
+        "systolic_spad_kb": (paper["systolic_spad_kb"],
+                             config.gemm.weight_spad_kb),
+        "interim_buf_total_kb": (paper["interim_buf_total_kb"],
+                                 2 * tandem.interim_buf_kb),
+        "accumulators_kb": (paper["accumulators_kb"], tandem.obuf_kb),
+        "frequency_ghz": (paper["frequency_ghz"],
+                          tandem.frequency_hz / 1e9),
+    }
+    return Experiment(id="table3", title="NPU-Tandem configuration",
+                      summary=summary)
+
+
+# ---------------------------------------------------------------------------
+# Characterization figures (Section 2)
+# ---------------------------------------------------------------------------
+@experiment("fig01")
+def fig01_operator_diversity() -> Experiment:
+    stats = analysis.operator_diversity()
+    rows = [(DISPLAY_NAMES[s.model], s.year, s.nongemm_types,
+             *(s.types_per_class[c] for c in NON_GEMM_CLASSES))
+            for s in stats]
+    first, last = stats[0], stats[-1]
+    summary = {
+        "first_gen_nongemm_types (VGG-16 ~3)": (3, min(s.nongemm_types for s in stats)),
+        "language_model_nongemm_types (~10)": (
+            10, max(s.nongemm_types for s in stats)),
+        "diversity_grows_over_time": (
+            True, stats[-1].nongemm_types > stats[0].nongemm_types),
+    }
+    return Experiment(
+        id="fig01", title="Neural operators in representative DNNs over the years",
+        summary=summary,
+        table=render_table(
+            ("model", "year", "non-GEMM types", "elemwise", "activation",
+             "reduction", "layout", "typeconv"), rows))
+
+
+@experiment("fig02")
+def fig02_cumulative_ops() -> Experiment:
+    cumulative = analysis.cumulative_usage()
+    rows = [(DISPLAY_NAMES[c.model], c.cumulative_gemm, c.cumulative_nongemm,
+             c.gemm_fraction) for c in cumulative]
+    final = cumulative[-1]
+    summary = {
+        "gemm_fraction_all_models": (
+            PAPER["fig02"]["gemm_fraction_all_models"], final.gemm_fraction),
+        "nongemm_surges_with_new_models": (
+            True,
+            cumulative[-1].cumulative_nongemm
+            > 4 * cumulative[0].cumulative_nongemm),
+    }
+    return Experiment(
+        id="fig02", title="Cumulative GEMM vs non-GEMM operator usage",
+        summary=summary,
+        table=render_table(("through model", "cum. GEMM", "cum. non-GEMM",
+                            "GEMM fraction"), rows))
+
+
+@experiment("fig03")
+def fig03_runtime_breakdown() -> Experiment:
+    data = analysis.figure3()
+    rows = []
+    for model, per_design in data.items():
+        for design, frac in per_design.items():
+            rows.append((DISPLAY_NAMES[model], design, frac["gemm"],
+                         frac["nongemm"], frac["comm"]))
+    eff_b2 = data["efficientnet"]["baseline2"]["nongemm"]
+    eff_gpu = data["efficientnet"]["a100"]["nongemm"]
+    newer = ["efficientnet", "bert", "gpt2"]
+    older = ["vgg16"]
+    newer_share = _avg(data[m]["baseline2"]["nongemm"] for m in newer)
+    older_share = _avg(data[m]["baseline2"]["nongemm"] for m in older)
+    summary = {
+        "efficientnet_nongemm_share_baseline2": (
+            PAPER["fig03"]["efficientnet_nongemm_share_baseline2"], eff_b2),
+        "efficientnet_nongemm_share_gpu": (
+            PAPER["fig03"]["efficientnet_nongemm_share_gpu"], eff_gpu),
+        "newer_models_more_nongemm_bound": (
+            True, newer_share > older_share),
+    }
+    return Experiment(
+        id="fig03", title="Runtime breakdown across platforms",
+        summary=summary,
+        table=render_table(("model", "design", "gemm", "non-GEMM", "PCIe"),
+                           rows))
+
+
+@experiment("fig05")
+def fig05_roofline() -> Experiment:
+    points = analysis.roofline()
+    rows = [(p.operator, p.arithmetic_intensity, p.attainable_gops,
+             "memory" if p.memory_bound else "compute") for p in points]
+    by_op = {p.operator: p for p in points}
+    paper = PAPER["fig05"]
+    mem_ok = all(by_op[o].memory_bound for o in paper["memory_bound_ops"])
+    cmp_ok = all(not by_op[o].memory_bound for o in paper["compute_bound_ops"])
+    summary = {
+        "memory_bound_ops_match": (True, mem_ok),
+        "softmax_gelu_compute_bound": (True, cmp_ok),
+        "ridge_point_ops_per_byte": (1.0, analysis.ridge_point()),
+    }
+    return Experiment(
+        id="fig05", title="Roofline for prevalent non-GEMM operators",
+        summary=summary,
+        table=render_table(("operator", "ops/byte", "attainable GOPS",
+                            "bound"), rows))
+
+
+@experiment("fig06")
+def fig06_overheads() -> Experiment:
+    results = analysis.overhead_analysis()
+    averages = analysis.average_overheads(results)
+    paper = PAPER["fig06"]
+    summary = {
+        "regfile_ldst_nongemm": (paper["regfile_ldst_nongemm"],
+                                 averages["regfile_ldst"]["nongemm"]),
+        "regfile_ldst_e2e": (paper["regfile_ldst_e2e"],
+                             averages["regfile_ldst"]["e2e"]),
+        "address_calc_nongemm": (paper["address_calc_nongemm"],
+                                 averages["address_calc"]["nongemm"]),
+        "address_calc_e2e": (paper["address_calc_e2e"],
+                             averages["address_calc"]["e2e"]),
+        "loop_logic_nongemm": (paper["loop_logic_nongemm"],
+                               averages["loop_logic"]["nongemm"]),
+        "loop_logic_e2e": (paper["loop_logic_e2e"],
+                           averages["loop_logic"]["e2e"]),
+    }
+    rows = [(r.model, r.mechanism, r.nongemm_overhead, r.e2e_overhead)
+            for r in results]
+    return Experiment(
+        id="fig06", title="Overheads the Tandem specializations remove",
+        summary=summary,
+        table=render_table(("model", "mechanism", "non-GEMM overhead",
+                            "e2e overhead"), rows))
+
+
+@experiment("fig08")
+def fig08_utilization() -> Experiment:
+    comparisons = analysis.utilization_comparison()
+    rows = [(c.model, c.gemm_util_tile, c.gemm_util_layer, c.tandem_util_tile,
+             c.tandem_util_layer) for c in comparisons]
+    paper = PAPER["fig08"]
+    summary = {
+        "gemm_utilization_gain": (paper["gemm_utilization_gain"],
+                                  _avg(c.gemm_gain for c in comparisons)),
+        "tandem_utilization_gain": (paper["tandem_utilization_gain"],
+                                    _avg(c.tandem_gain for c in comparisons)),
+    }
+    return Experiment(
+        id="fig08", title="Tile- vs layer-granularity utilization",
+        summary=summary,
+        table=render_table(("model", "gemm tile", "gemm layer", "tandem tile",
+                            "tandem layer"), rows))
+
+
+# ---------------------------------------------------------------------------
+# Main results (Section 8)
+# ---------------------------------------------------------------------------
+@experiment("fig14")
+def fig14_speedups() -> Experiment:
+    npu = npu_results()
+    b1 = baseline1_results()
+    b2 = baseline2_results()
+    s1 = {m: b1[m].total_seconds / npu[m].total_seconds for m in MODEL_ORDER}
+    s2 = {m: b2[m].total_seconds / npu[m].total_seconds for m in MODEL_ORDER}
+    paper = PAPER["fig14"]
+    summary = {
+        "avg_speedup_vs_baseline1": (paper["avg_speedup_vs_baseline1"],
+                                     _avg(s1.values())),
+        "avg_speedup_vs_baseline2": (paper["avg_speedup_vs_baseline2"],
+                                     _avg(s2.values())),
+        "mobilenetv2_speedup_vs_baseline1": (
+            paper["mobilenetv2_speedup_vs_baseline1"], s1["mobilenetv2"]),
+        "bert_speedup_vs_baseline1": (
+            paper["bert_speedup_vs_baseline1"], s1["bert"]),
+    }
+    rows = [(DISPLAY_NAMES[m], s1[m], s2[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig14", title="Speedup vs off-chip-CPU and dedicated-unit baselines",
+        summary=summary,
+        table=render_table(("model", "vs baseline1", "vs baseline2"), rows))
+
+
+@experiment("fig15")
+def fig15_energy() -> Experiment:
+    npu = npu_results()
+    b1 = baseline1_results()
+    b2 = baseline2_results()
+    e1 = {m: b1[m].energy_joules / npu[m].energy_joules for m in MODEL_ORDER}
+    e2 = {m: b2[m].energy_joules / npu[m].energy_joules for m in MODEL_ORDER}
+    paper = PAPER["fig15"]
+    summary = {
+        "avg_energy_reduction_vs_baseline1": (
+            paper["avg_energy_reduction_vs_baseline1"], _avg(e1.values())),
+        "avg_energy_reduction_vs_baseline2": (
+            paper["avg_energy_reduction_vs_baseline2"], _avg(e2.values())),
+    }
+    rows = [(DISPLAY_NAMES[m], e1[m], e2[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig15", title="Energy reduction vs baselines",
+        summary=summary,
+        table=render_table(("model", "vs baseline1", "vs baseline2"), rows))
+
+
+@experiment("fig16")
+def fig16_gemmini() -> Experiment:
+    npu = npu_results()
+    gm1 = gemmini_results(1)
+    gm32 = gemmini_results(32)
+    s1 = {m: gm1[m].total_seconds / npu[m].total_seconds for m in MODEL_ORDER}
+    s32 = {m: gm32[m].total_seconds / npu[m].total_seconds for m in MODEL_ORDER}
+    self_improve = _avg(gm1[m].total_seconds / gm32[m].total_seconds
+                        for m in MODEL_ORDER)
+    paper = PAPER["fig16"]
+    summary = {
+        "avg_speedup_vs_gemmini": (paper["avg_speedup_vs_gemmini"],
+                                   _avg(s1.values())),
+        "avg_speedup_vs_gemmini_multicore": (
+            paper["avg_speedup_vs_gemmini_multicore"], _avg(s32.values())),
+        "multicore_gemmini_self_improvement": (
+            paper["multicore_gemmini_self_improvement"], self_improve),
+        "max_multicore_speedup_model": (
+            paper["max_speedup_vs_multicore"][0],
+            max(s32, key=s32.get)),
+        "min_multicore_speedup_model": (
+            paper["min_speedup_vs_multicore"][0],
+            min(s32, key=s32.get)),
+    }
+    rows = [(DISPLAY_NAMES[m], s1[m], s32[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig16", title="Comparison with Gemmini (1 core and 32 cores)",
+        summary=summary,
+        table=render_table(("model", "vs 1-core", "vs 32-core"), rows))
+
+
+@experiment("fig17")
+def fig17_gemmini_breakdown() -> Experiment:
+    data = analysis.figure17()
+    rows = [(DISPLAY_NAMES[m], f["gemm"], f["im2col_dedicated"], f["riscv"])
+            for m, f in data.items()]
+    paper = PAPER["fig17"]
+    summary = {
+        "mobilenetv2_im2col_share": (
+            paper["mobilenetv2_im2col_share"],
+            data["mobilenetv2"]["im2col_dedicated"]),
+        "efficientnet_im2col_share": (
+            paper["efficientnet_im2col_share"],
+            data["efficientnet"]["im2col_dedicated"]),
+        "riscv_dominates_bert": (True, data["bert"]["riscv"] > 0.5),
+        "riscv_dominates_gpt2": (True, data["gpt2"]["riscv"] > 0.5),
+        "riscv_dominates_yolov3": (True, data["yolov3"]["riscv"] > 0.5),
+    }
+    return Experiment(
+        id="fig17", title="Gemmini runtime breakdown",
+        summary=summary,
+        table=render_table(("model", "gemm", "im2col+dedicated", "riscv"),
+                           rows))
+
+
+def _ladder_factor(ladders, frm: str, to: str) -> float:
+    return _avg(ladders[m][frm].total_seconds / ladders[m][to].total_seconds
+                for m in MODEL_ORDER)
+
+
+@experiment("fig18")
+def fig18_vpu_speedup() -> Experiment:
+    ladders = vpu_ladders()
+    paper = PAPER["fig18"]
+    final = {m: ladders[m]["vpu"].total_seconds
+             / ladders[m]["tandem"].total_seconds for m in MODEL_ORDER}
+    summary = {
+        "avg_speedup_vs_vpu": (paper["avg_speedup_vs_vpu"],
+                               _avg(final.values())),
+        "regfile_removal_factor": (
+            paper["regfile_removal_factor"],
+            _ladder_factor(ladders, "vpu", "no_regfile")),
+        "loop_specialization_factor": (
+            paper["loop_specialization_factor"],
+            _ladder_factor(ladders, "no_regfile", "no_regfile_loops")),
+        "obuf_ownership_factor": (
+            paper["obuf_ownership_factor"],
+            _ladder_factor(ladders, "no_regfile_loops",
+                           "no_regfile_loops_fifo")),
+        "special_function_factor": (
+            paper["special_function_factor"],
+            _ladder_factor(ladders, "no_regfile_loops_fifo", "tandem")),
+    }
+    rows = [(DISPLAY_NAMES[m], final[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig18", title="Speedup vs TPU+VPU with per-decision ablation",
+        summary=summary,
+        table=render_table(("model", "end-to-end speedup vs VPU"), rows))
+
+
+@experiment("fig19")
+def fig19_vpu_energy() -> Experiment:
+    ladders = vpu_ladders()
+    paper = PAPER["fig19"]
+    ratio = {m: ladders[m]["vpu"].energy_joules
+             / ladders[m]["tandem"].energy_joules for m in MODEL_ORDER}
+    summary = {
+        "avg_energy_reduction_vs_vpu": (
+            paper["avg_energy_reduction_vs_vpu"], _avg(ratio.values())),
+        "mobilenetv2": (paper["mobilenetv2"], ratio["mobilenetv2"]),
+        "gpt2": (paper["gpt2"], ratio["gpt2"]),
+        "vgg16": (paper["vgg16"], ratio["vgg16"]),
+    }
+    rows = [(DISPLAY_NAMES[m], ratio[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig19", title="Energy reduction vs TPU+VPU",
+        summary=summary,
+        table=render_table(("model", "energy reduction vs VPU"), rows))
+
+
+@experiment("fig20")
+def fig20_perf_per_watt() -> Experiment:
+    npu = npu_results()
+    jetson = gpu_results("jetson", "tensorrt")
+    rtx = gpu_results("rtx", "tensorrt")
+    vs_jetson = {m: npu[m].perf_per_watt() / jetson[m].perf_per_watt()
+                 for m in MODEL_ORDER}
+    rtx_vs_jetson = _avg(rtx[m].perf_per_watt() / jetson[m].perf_per_watt()
+                         for m in MODEL_ORDER)
+    paper = PAPER["fig20"]
+    summary = {
+        "avg_perf_per_watt_vs_jetson": (
+            paper["avg_perf_per_watt_vs_jetson"], _avg(vs_jetson.values())),
+        "rtx_vs_jetson_efficiency": (
+            paper["rtx_vs_jetson_efficiency"], rtx_vs_jetson),
+        "mobilenetv2_max_benefit": (
+            True, max(vs_jetson, key=vs_jetson.get) == "mobilenetv2"),
+    }
+    rows = [(DISPLAY_NAMES[m], vs_jetson[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig20", title="Performance-per-Watt vs Jetson NX / RTX 2080 Ti",
+        summary=summary,
+        table=render_table(("model", "perf/W vs Jetson"), rows))
+
+
+@experiment("fig21")
+def fig21_a100() -> Experiment:
+    npu = scaled_npu_results()
+    trt = gpu_results("a100", "tensorrt")
+    cuda = gpu_results("a100", "cuda")
+    s_trt = {m: trt[m].total_seconds / npu[m].total_seconds
+             for m in MODEL_ORDER}
+    s_cuda = {m: cuda[m].total_seconds / npu[m].total_seconds
+              for m in MODEL_ORDER}
+    paper = PAPER["fig21"]
+    summary = {
+        "avg_speedup_vs_a100_tensorrt": (
+            paper["avg_speedup_vs_a100_tensorrt"], _avg(s_trt.values())),
+        "avg_speedup_vs_a100_cuda": (
+            paper["avg_speedup_vs_a100_cuda"], _avg(s_cuda.values())),
+        "a100_wins_vgg16": (True, s_trt["vgg16"] < 1.0),
+        "a100_wins_yolov3": (True, s_trt["yolov3"] < 1.0),
+        "npu_wins_bert": (True, s_trt["bert"] > 1.0),
+    }
+    rows = [(DISPLAY_NAMES[m], s_trt[m], s_cuda[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig21", title="Iso-TOPs comparison to A100 (TensorRT and CUDA)",
+        summary=summary,
+        table=render_table(("model", "vs TensorRT", "vs CUDA"), rows))
+
+
+@experiment("fig22")
+def fig22_breakdown_a100() -> Experiment:
+    data = analysis.figure22()
+    rows = []
+    for model, per_design in data.items():
+        rows.append((DISPLAY_NAMES[model],
+                     per_design["npu_tandem"]["nongemm"],
+                     per_design["a100_cuda"]["nongemm"]))
+    lm_share = _avg(data[m]["a100_cuda"]["nongemm"]
+                    for m in ("bert", "gpt2", "mobilenetv2", "efficientnet"))
+    cnn_share = _avg(data[m]["a100_cuda"]["nongemm"] for m in ("vgg16",))
+    summary = {
+        "nongemm_share_larger_for_newer_models_on_a100": (
+            True, lm_share > cnn_share),
+    }
+    return Experiment(
+        id="fig22", title="GEMM/non-GEMM runtime split: scaled NPU vs A100",
+        summary=summary,
+        table=render_table(("model", "NPU non-GEMM share",
+                            "A100-CUDA non-GEMM share"), rows))
+
+
+@experiment("fig23")
+def fig23_nongemm_speedup() -> Experiment:
+    npu = scaled_npu_results()
+    cuda = gpu_results("a100", "cuda")
+    ratio = {m: cuda[m].nongemm_seconds / max(npu[m].nongemm_seconds, 1e-12)
+             for m in MODEL_ORDER}
+    paper = PAPER["fig23"]
+    summary = {
+        "avg_nongemm_speedup_vs_a100": (
+            paper["avg_nongemm_speedup_vs_a100"], _avg(ratio.values())),
+        "bert": (paper["bert"], ratio["bert"]),
+        "bert_is_max": (True, max(ratio, key=ratio.get) == "bert"),
+        "gpt2_below_bert (bandwidth bound)": (
+            True, ratio["gpt2"] < ratio["bert"]),
+    }
+    rows = [(DISPLAY_NAMES[m], ratio[m]) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig23", title="Non-GEMM-only speedup vs A100 CUDA cores",
+        summary=summary,
+        table=render_table(("model", "non-GEMM speedup"), rows))
+
+
+@experiment("fig24")
+def fig24_tandem_breakdown() -> Experiment:
+    data = analysis.figure24()
+    rows = []
+    for model, fractions in data.items():
+        top = sorted(fractions.items(), key=lambda kv: -kv[1])[:4]
+        rows.append((DISPLAY_NAMES[model],
+                     ", ".join(f"{op} {frac:.0%}" for op, frac in top)))
+    summary = {
+        "depthwise_dominates_mobilenetv2_nongemm": (
+            True,
+            max((k for k in data["mobilenetv2"] if k != "GEMM"),
+                key=lambda k: data["mobilenetv2"][k]) == "DepthwiseConv"),
+        "gelu_or_softmax_heavy_in_bert": (
+            True, data["bert"].get("Gelu", 0) + data["bert"].get("Softmax", 0)
+            > 0.05),
+        "reducemean_visible_in_gpt2": (
+            True, data["gpt2"].get("ReduceMean", 0) > 0.03),
+        "gemm_significant_share_on_npu": (
+            True, _avg(data[m].get("GEMM", 0) for m in MODEL_ORDER) > 0.3),
+    }
+    return Experiment(
+        id="fig24", title="NPU-Tandem runtime breakdown by layer type",
+        summary=summary,
+        table=render_table(("model", "largest components"), rows))
+
+
+@experiment("fig25")
+def fig25_energy_breakdown() -> Experiment:
+    data = analysis.figure25()
+    avg = {k: _avg(data[m][k] for m in MODEL_ORDER)
+           for k in ("dram", "on_chip_sram", "alu", "loop_addr", "other")}
+    paper = PAPER["fig25"]
+    summary = {
+        "dram_share": (paper["dram"], avg["dram"]),
+        "on_chip_sram_share": (paper["on_chip_sram"], avg["on_chip_sram"]),
+        "alu_share": (paper["alu"], avg["alu"]),
+        "loop_addr_share": (paper["loop_addr"], avg["loop_addr"]),
+        "loop_addr_is_largest_logic": (
+            True, avg["loop_addr"] > max(avg["alu"], avg["on_chip_sram"])),
+    }
+    rows = [(DISPLAY_NAMES[m], *(data[m][k] for k in
+                                 ("dram", "on_chip_sram", "alu", "loop_addr",
+                                  "other"))) for m in MODEL_ORDER]
+    return Experiment(
+        id="fig25", title="Tandem Processor energy breakdown",
+        summary=summary,
+        table=render_table(("model", "dram", "sram", "alu", "loop+addr",
+                            "other"), rows))
+
+
+@experiment("fig26")
+def fig26_area() -> Experiment:
+    breakdown = analysis.tandem_area()
+    fractions = breakdown.fractions()
+    paper = PAPER["fig26"]
+    summary = {
+        "total_mm2": (paper["total_mm2"], breakdown.total_mm2),
+        "alu_fraction": (paper["alu_fraction"], fractions["alu"]),
+        "interim_buf_fraction": (paper["interim_buf_fraction"],
+                                 fractions["interim_buf"]),
+        "permute_fraction": (paper["permute_fraction"], fractions["permute"]),
+    }
+    return Experiment(id="fig26", title="Tandem Processor area breakdown",
+                      summary=summary)

@@ -1,0 +1,36 @@
+"""Markdown report generation (the body of EXPERIMENTS.md)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .experiments import all_experiment_ids, run_experiment
+
+#: Paper order for the report body.
+DEFAULT_ORDER = [
+    "table1", "table2", "table3", "fig01", "fig02", "fig03", "fig05",
+    "fig06", "fig08", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+    "fig26",
+]
+
+
+def experiments_markdown(ids: Optional[List[str]] = None) -> str:
+    """Render every experiment as a markdown section with a code block."""
+    ids = ids or DEFAULT_ORDER
+    missing = [exp_id for exp_id in ids if exp_id not in all_experiment_ids()]
+    if missing:
+        raise KeyError(f"unknown experiments: {missing}")
+    sections = []
+    for exp_id in ids:
+        experiment = run_experiment(exp_id)
+        sections.append(
+            f"## {exp_id}: {experiment.title}\n\n"
+            f"```\n{experiment.render()}\n```\n")
+    return "\n".join(sections)
+
+
+def write_experiments_body(path: str,
+                           ids: Optional[List[str]] = None) -> None:
+    with open(path, "w") as handle:
+        handle.write(experiments_markdown(ids))

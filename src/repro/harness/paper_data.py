@@ -1,0 +1,110 @@
+"""The paper's reported numbers, transcribed from the text and figures.
+
+Used by EXPERIMENTS.md generation and by the benchmark harness to print
+paper-vs-measured side by side. Only values the paper states explicitly
+(abstract, Section 8 text, figure captions) are recorded; per-model bar
+heights that are not quoted numerically are left as qualitative claims.
+"""
+
+#: Figure/Table id -> {metric: paper value}.
+PAPER = {
+    "table3": {
+        "systolic_dims": (32, 32),
+        "tandem_lanes": 32,
+        "systolic_spad_kb": 384,
+        "interim_buf_total_kb": 128,
+        "accumulators_kb": 128,
+        "frequency_ghz": 1.0,
+    },
+    "fig02": {
+        "gemm_fraction_all_models": 0.15,
+    },
+    "fig03": {
+        "efficientnet_nongemm_share_baseline2": 0.81,
+        "efficientnet_nongemm_share_gpu": 0.73,
+    },
+    "fig05": {
+        "memory_bound_ops": ("Add", "Mul", "Relu", "Clip", "MaxPool",
+                             "ReduceMean", "Cast", "Transpose"),
+        "compute_bound_ops": ("Softmax", "Gelu"),
+    },
+    "fig06": {
+        "regfile_ldst_nongemm": 0.41,
+        "regfile_ldst_e2e": 0.27,
+        "address_calc_nongemm": 0.59,
+        "address_calc_e2e": 0.40,
+        "loop_logic_nongemm": 0.70,
+        "loop_logic_e2e": 0.47,
+    },
+    "fig08": {
+        "gemm_utilization_gain": 0.20,
+        "tandem_utilization_gain": 0.13,
+    },
+    "fig14": {
+        "avg_speedup_vs_baseline1": 3.5,
+        "avg_speedup_vs_baseline2": 2.7,
+        "mobilenetv2_speedup_vs_baseline1": 5.9,
+        "mobilenetv2_speedup_vs_baseline2": 5.4,
+        "bert_speedup_vs_baseline1": 5.4,
+        "bert_speedup_vs_baseline2": 4.5,
+    },
+    "fig15": {
+        "avg_energy_reduction_vs_baseline1": 39.2,
+        "avg_energy_reduction_vs_baseline2": 20.6,
+    },
+    "fig16": {
+        "avg_speedup_vs_gemmini": 47.8,
+        "avg_speedup_vs_gemmini_multicore": 5.9,
+        "multicore_gemmini_self_improvement": 8.0,
+        "max_speedup_vs_multicore": ("mobilenetv2", 35.3),
+        "min_speedup_vs_multicore": ("vgg16", 0.9),
+    },
+    "fig17": {
+        "mobilenetv2_im2col_share": 0.90,
+        "efficientnet_im2col_share": 0.90,
+        "riscv_bottleneck_models": ("yolov3", "bert", "gpt2", "resnet50"),
+    },
+    "fig18": {
+        "avg_speedup_vs_vpu": 2.6,
+        "loop_specialization_factor": 2.1,
+        "regfile_removal_factor": 1.4,
+        "obuf_ownership_factor": 1.1,
+        "special_function_factor": 0.8,
+    },
+    "fig19": {
+        "avg_energy_reduction_vs_vpu": 1.4,
+        "mobilenetv2": 2.0,
+        "efficientnet": 1.8,
+        "gpt2": 1.7,
+        "vgg16": 1.1,
+        "yolov3": 1.1,
+    },
+    "fig20": {
+        "avg_perf_per_watt_vs_jetson": 4.8,
+        "rtx_vs_jetson_efficiency": 0.8,  # "20 % lower on average"
+    },
+    "fig21": {
+        "avg_speedup_vs_a100_tensorrt": 1.025,
+        "avg_speedup_vs_a100_cuda": 4.0,
+        "npu_wins": ("resnet50", "mobilenetv2", "efficientnet", "bert", "gpt2"),
+        "a100_wins": ("vgg16", "yolov3"),
+    },
+    "fig23": {
+        "avg_nongemm_speedup_vs_a100": 3.4,
+        "bert": 8.0,
+        "resnet50": 5.2,
+        "mobilenetv2": 4.5,
+    },
+    "fig25": {
+        "dram": 0.31,
+        "on_chip_sram": 0.13,
+        "alu": 0.12,
+        "loop_addr": 0.40,
+    },
+    "fig26": {
+        "total_mm2": 1.02,
+        "alu_fraction": 0.566,
+        "interim_buf_fraction": 0.292,
+        "permute_fraction": 0.120,
+    },
+}

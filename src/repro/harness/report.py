@@ -1,0 +1,48 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table; floats formatted to three significant places."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(pairs: Dict[str, tuple], title: str = "") -> str:
+    """Render {metric: (paper, measured)} side by side with the ratio."""
+    rows = []
+    for metric, (paper, measured) in pairs.items():
+        ratio = ""
+        if isinstance(paper, (int, float)) and isinstance(measured, (int, float)):
+            if paper:
+                ratio = measured / paper
+        rows.append((metric, paper, measured, ratio))
+    return render_table(("metric", "paper", "measured", "measured/paper"),
+                        rows, title)

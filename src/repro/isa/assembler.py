@@ -1,0 +1,114 @@
+"""Two-way textual assembly for the Tandem ISA.
+
+The disassembler (:meth:`TandemProgram.disassemble`) prints one
+instruction per line; this module parses that syntax back into
+instructions, so programs can be written, patched, and inspected as
+text. Grammar (one instruction per line, ``#`` comments):
+
+    OPCODE.FUNC dstNS[itN], srcNS[itN], srcNS[itN]     # compute
+    OPCODE.FUNC f3=<int> f5=<int> imm=<int>            # everything else
+
+Example::
+
+    ITERATOR_CONFIG.BASE_ADDR f3=0 f5=0 imm=128
+    ITERATOR_CONFIG.STRIDE    f3=0 f5=0 imm=1
+    LOOP.SET_ITER             f3=0 f5=0 imm=64
+    LOOP.SET_NUM_INST         f3=0 f5=0 imm=1
+    ALU.ADD IBUF1[it0], IBUF1[it0], IMM[it1]
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from .encoding import is_compute_opcode
+from .instructions import Instruction, Operand
+from .opcodes import FUNC_ENUMS, Namespace, Opcode
+from .program import TandemProgram
+
+
+class AssemblyError(ValueError):
+    """Malformed assembly text."""
+
+
+_OPERAND_RE = re.compile(r"^(?P<ns>[A-Z0-9]+)\[it(?P<idx>\d+)\]$")
+_FIELD_RE = re.compile(r"^(?P<key>f3|f5|imm)=(?P<value>-?\d+)$")
+
+
+def _parse_mnemonic(token: str, line_no: int) -> tuple:
+    if "." not in token:
+        raise AssemblyError(f"line {line_no}: expected OPCODE.FUNC, got {token!r}")
+    op_name, func_name = token.split(".", 1)
+    try:
+        opcode = Opcode[op_name]
+    except KeyError:
+        raise AssemblyError(f"line {line_no}: unknown opcode {op_name!r}") from None
+    enum = FUNC_ENUMS[opcode]
+    try:
+        func = int(enum[func_name])
+    except KeyError:
+        if func_name.startswith("func") and func_name[4:].isdigit():
+            func = int(func_name[4:])
+        else:
+            raise AssemblyError(
+                f"line {line_no}: unknown func {func_name!r} for {op_name}"
+            ) from None
+    return opcode, func
+
+
+def _parse_operand(token: str, line_no: int) -> Operand:
+    match = _OPERAND_RE.match(token.strip())
+    if not match:
+        raise AssemblyError(
+            f"line {line_no}: expected NS[itN] operand, got {token!r}")
+    try:
+        ns = Namespace[match.group("ns")]
+    except KeyError:
+        raise AssemblyError(
+            f"line {line_no}: unknown namespace {match.group('ns')!r}") from None
+    return Operand(ns, int(match.group("idx")))
+
+
+def parse_line(line: str, line_no: int = 0) -> Optional[Instruction]:
+    """Parse one line; returns None for blanks and comments."""
+    # Strip an optional "PC: WORD" prefix emitted by the disassembler.
+    line = re.sub(r"^\s*\d+:\s*[0-9a-fA-F]{8}\s+", "", line)
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None
+    head, _, rest = line.partition(" ")
+    opcode, func = _parse_mnemonic(head, line_no)
+    rest = rest.strip()
+    if is_compute_opcode(opcode):
+        operands = [tok for tok in rest.split(",") if tok.strip()]
+        if len(operands) not in (2, 3):
+            raise AssemblyError(
+                f"line {line_no}: compute instruction needs 2-3 operands")
+        parsed = [_parse_operand(tok, line_no) for tok in operands]
+        src2 = parsed[2] if len(parsed) == 3 else None
+        return Instruction(opcode, func, dst=parsed[0], src1=parsed[1],
+                           src2=src2)
+    fields = {"f3": 0, "f5": 0, "imm": 0}
+    for token in rest.split():
+        match = _FIELD_RE.match(token)
+        if not match:
+            raise AssemblyError(f"line {line_no}: bad field {token!r}")
+        fields[match.group("key")] = int(match.group("value"))
+    return Instruction(opcode, func, field3=fields["f3"],
+                       field5=fields["f5"], imm=fields["imm"])
+
+
+def assemble(text: str, name: str = "asm") -> TandemProgram:
+    """Assemble a program from text (disassembler output is accepted)."""
+    program = TandemProgram(name)
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        inst = parse_line(line, line_no)
+        if inst is not None:
+            program.append(inst)
+    return program
+
+
+def assembly_roundtrip(program: TandemProgram) -> TandemProgram:
+    """Disassemble then re-assemble (tests use this as an invariant)."""
+    return assemble(program.disassemble(), name=f"{program.name}_rt")

@@ -1,0 +1,115 @@
+"""32-bit instruction word packing/unpacking (Figure 12 field layouts).
+
+Every word is ``opcode[31:28] func[27:24] <class-specific fields>``:
+
+======================  ==========================================================
+Class                   Remaining 24 bits
+======================  ==========================================================
+Synchronization         x[23:21] group_id[20:16] x[15:0]
+Configuration           ns_id[23:21] iter_idx[20:16] immediate[15:0]
+Compute                 dst_ns[23:21] dst_iter[20:16] src1_ns[15:13]
+                        src1_iter[12:8] src2_ns[7:5] src2_iter[4:0]
+Loop                    loop_id[23:21] x[20:16] immediate[15:0]
+Data transformation     src_dst[23:21] dim_idx[20:16] immediate[15:0]
+Off-chip data movement  func2[23:21] loop_idx[20:16] immediate[15:0]
+======================  ==========================================================
+"""
+
+from __future__ import annotations
+
+from .opcodes import Opcode
+
+_MASK4 = 0xF
+_MASK3 = 0x7
+_MASK5 = 0x1F
+_MASK16 = 0xFFFF
+
+#: Opcodes whose low 16 bits are a (possibly signed) immediate.
+_IMMEDIATE_OPCODES = frozenset({
+    Opcode.SYNC,
+    Opcode.ITERATOR_CONFIG,
+    Opcode.DATATYPE_CONFIG,
+    Opcode.LOOP,
+    Opcode.PERMUTE,
+    Opcode.DATATYPE_CAST,
+    Opcode.TILE_LD_ST,
+})
+
+_COMPUTE_OPCODES = frozenset({Opcode.ALU, Opcode.CALCULUS, Opcode.COMPARISON})
+
+
+class EncodingError(ValueError):
+    """A field value does not fit its instruction-word slot."""
+
+
+def _check(value: int, bits: int, field: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise EncodingError(f"{field}={value} does not fit in {bits} bits")
+    return value
+
+
+def encode_imm16(value: int) -> int:
+    """Two's-complement 16-bit immediate field."""
+    if not -(1 << 15) <= value < (1 << 16):
+        raise EncodingError(f"immediate {value} does not fit in 16 bits")
+    return value & _MASK16
+
+
+def decode_imm16(field: int, signed: bool = True) -> int:
+    if signed and field >= (1 << 15):
+        return field - (1 << 16)
+    return field
+
+
+def pack_common(opcode: int, func: int, a3: int, b5: int, imm16: int) -> int:
+    """Generic <op, func, 3-bit, 5-bit, 16-bit immediate> layout."""
+    word = (_check(opcode, 4, "opcode") << 28) | (_check(func, 4, "func") << 24)
+    word |= _check(a3, 3, "field3") << 21
+    word |= _check(b5, 5, "field5") << 16
+    word |= _check(imm16, 16, "imm16")
+    return word
+
+
+def pack_compute(opcode: int, func: int, dst_ns: int, dst_iter: int,
+                 src1_ns: int, src1_iter: int, src2_ns: int, src2_iter: int) -> int:
+    word = (_check(opcode, 4, "opcode") << 28) | (_check(func, 4, "func") << 24)
+    word |= _check(dst_ns, 3, "dst_ns") << 21
+    word |= _check(dst_iter, 5, "dst_iter") << 16
+    word |= _check(src1_ns, 3, "src1_ns") << 13
+    word |= _check(src1_iter, 5, "src1_iter") << 8
+    word |= _check(src2_ns, 3, "src2_ns") << 5
+    word |= _check(src2_iter, 5, "src2_iter")
+    return word
+
+
+def unpack_fields(word: int) -> dict:
+    """Decode a 32-bit word into raw fields keyed by layout role."""
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"word {word:#x} is not a 32-bit value")
+    opcode = Opcode((word >> 28) & _MASK4)
+    func = (word >> 24) & _MASK4
+    fields = {"opcode": opcode, "func": func}
+    if opcode in _COMPUTE_OPCODES:
+        fields.update(
+            dst_ns=(word >> 21) & _MASK3,
+            dst_iter=(word >> 16) & _MASK5,
+            src1_ns=(word >> 13) & _MASK3,
+            src1_iter=(word >> 8) & _MASK5,
+            src2_ns=(word >> 5) & _MASK3,
+            src2_iter=word & _MASK5,
+        )
+    else:
+        fields.update(
+            field3=(word >> 21) & _MASK3,
+            field5=(word >> 16) & _MASK5,
+            imm16=word & _MASK16,
+        )
+    return fields
+
+
+def is_compute_opcode(opcode: Opcode) -> bool:
+    return opcode in _COMPUTE_OPCODES
+
+
+def has_immediate(opcode: Opcode) -> bool:
+    return opcode in _IMMEDIATE_OPCODES

@@ -1,0 +1,192 @@
+"""Typed instruction objects and builder helpers for the Tandem ISA.
+
+The simulator executes :class:`Instruction` objects; :meth:`Instruction.pack`
+and :func:`decode` round-trip them through the 32-bit Figure 12 encodings,
+which tests use to prove the ISA really fits in one instruction word.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from .encoding import (
+    decode_imm16,
+    encode_imm16,
+    is_compute_opcode,
+    pack_common,
+    pack_compute,
+    unpack_fields,
+)
+from .opcodes import (
+    FUNC_ENUMS,
+    AluFunc,
+    CalculusFunc,
+    ComparisonFunc,
+    DatatypeConfigFunc,
+    IteratorConfigFunc,
+    LdStFunc,
+    LoopFunc,
+    Namespace,
+    Opcode,
+    PermuteFunc,
+    SyncFunc,
+)
+
+
+@dataclass(frozen=True)
+class Operand:
+    """A compute operand: (namespace id, iterator-table index)."""
+
+    ns: Namespace
+    iter_idx: int
+
+    def __str__(self) -> str:
+        return f"{self.ns.name}[it{self.iter_idx}]"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One Tandem Processor instruction.
+
+    Exactly one field layout is populated depending on ``opcode``:
+    compute instructions use ``dst``/``src1``/``src2``; everything else
+    uses ``field3``/``field5``/``imm`` in their class-specific roles
+    (namespace id + iterator index, loop id, dim index, func2 + loop idx).
+    """
+
+    opcode: Opcode
+    func: int
+    dst: Optional[Operand] = None
+    src1: Optional[Operand] = None
+    src2: Optional[Operand] = None
+    field3: int = 0
+    field5: int = 0
+    imm: int = 0
+
+    # -- encoding -----------------------------------------------------------
+    def pack(self) -> int:
+        if is_compute_opcode(self.opcode):
+            src2 = self.src2 if self.src2 is not None else Operand(Namespace.IBUF1, 0)
+            return pack_compute(
+                int(self.opcode), int(self.func),
+                int(self.dst.ns), self.dst.iter_idx,
+                int(self.src1.ns), self.src1.iter_idx,
+                int(src2.ns), src2.iter_idx,
+            )
+        return pack_common(int(self.opcode), int(self.func), self.field3,
+                           self.field5, encode_imm16(self.imm))
+
+    @property
+    def func_name(self) -> str:
+        enum = FUNC_ENUMS[self.opcode]
+        try:
+            return enum(self.func).name
+        except ValueError:
+            return f"func{self.func}"
+
+    def __str__(self) -> str:
+        if is_compute_opcode(self.opcode):
+            ops = ", ".join(str(o) for o in (self.dst, self.src1, self.src2)
+                            if o is not None)
+            return f"{self.opcode.name}.{self.func_name} {ops}"
+        return (f"{self.opcode.name}.{self.func_name} "
+                f"f3={self.field3} f5={self.field5} imm={self.imm}")
+
+
+def decode(word: int) -> Instruction:
+    """Decode a packed 32-bit word back into an :class:`Instruction`."""
+    fields = unpack_fields(word)
+    opcode = fields["opcode"]
+    func = fields["func"]
+    if is_compute_opcode(opcode):
+        return Instruction(
+            opcode=opcode,
+            func=func,
+            dst=Operand(Namespace(fields["dst_ns"]), fields["dst_iter"]),
+            src1=Operand(Namespace(fields["src1_ns"]), fields["src1_iter"]),
+            src2=Operand(Namespace(fields["src2_ns"]), fields["src2_iter"]),
+        )
+    return Instruction(
+        opcode=opcode,
+        func=func,
+        field3=fields["field3"],
+        field5=fields["field5"],
+        imm=decode_imm16(fields["imm16"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Builder helpers (what the compiler's lowering pass emits)
+# ---------------------------------------------------------------------------
+def sync(func: SyncFunc, group_id: int = 0) -> Instruction:
+    return Instruction(Opcode.SYNC, int(func), field5=group_id)
+
+
+def iterator_base(ns: Namespace, iter_idx: int, offset: int) -> Instruction:
+    return Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.BASE_ADDR),
+                       field3=int(ns), field5=iter_idx, imm=offset)
+
+
+def iterator_stride(ns: Namespace, iter_idx: int, stride: int) -> Instruction:
+    return Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.STRIDE),
+                       field3=int(ns), field5=iter_idx, imm=stride)
+
+
+def set_immediate(slot: int, value: int) -> Tuple[Instruction, ...]:
+    """Write a 32-bit immediate into an IMM BUF slot.
+
+    Values that do not fit the 16-bit immediate field take a second
+    IMM_HIGH instruction carrying the upper half — the price of the
+    32-bit instruction word.
+    """
+    if not -(1 << 31) <= value < (1 << 31):
+        raise ValueError(f"immediate {value} does not fit in 32 bits")
+    low = Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.IMM_VALUE),
+                      field3=int(Namespace.IMM), field5=slot, imm=value & 0xFFFF)
+    if -(1 << 15) <= value < (1 << 15):
+        # IMM_VALUE alone: the decoder sign-extends the 16-bit field.
+        return (low,)
+    high = Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.IMM_HIGH),
+                       field3=int(Namespace.IMM), field5=slot,
+                       imm=(value >> 16) & 0xFFFF)
+    return (low, high)
+
+
+def alu(func: AluFunc, dst: Operand, src1: Operand,
+        src2: Optional[Operand] = None) -> Instruction:
+    return Instruction(Opcode.ALU, int(func), dst=dst, src1=src1, src2=src2)
+
+
+def calculus(func: CalculusFunc, dst: Operand, src1: Operand) -> Instruction:
+    return Instruction(Opcode.CALCULUS, int(func), dst=dst, src1=src1)
+
+
+def comparison(func: ComparisonFunc, dst: Operand, src1: Operand,
+               src2: Operand) -> Instruction:
+    return Instruction(Opcode.COMPARISON, int(func), dst=dst, src1=src1, src2=src2)
+
+
+def loop_iter(loop_id: int, iterations: int) -> Instruction:
+    return Instruction(Opcode.LOOP, int(LoopFunc.SET_ITER), field3=loop_id,
+                       imm=iterations)
+
+
+def loop_num_inst(num_inst: int) -> Instruction:
+    return Instruction(Opcode.LOOP, int(LoopFunc.SET_NUM_INST), imm=num_inst)
+
+
+def datatype_cast(target: DatatypeConfigFunc, src_dst: int = 0) -> Instruction:
+    return Instruction(Opcode.DATATYPE_CAST, int(target), field3=src_dst)
+
+
+def permute(func: PermuteFunc, src_dst: int = 0, dim_idx: int = 0,
+            imm: int = 0) -> Instruction:
+    return Instruction(Opcode.PERMUTE, int(func), field3=src_dst,
+                       field5=dim_idx, imm=imm)
+
+
+def tile_ldst(func1: LdStFunc, buffer: Namespace = Namespace.IBUF1,
+              loop_idx: int = 0, imm: int = 0) -> Instruction:
+    return Instruction(Opcode.TILE_LD_ST, int(func1), field3=int(buffer),
+                       field5=loop_idx, imm=imm)

@@ -1,0 +1,71 @@
+"""Program containers and the disassembler.
+
+A :class:`TandemProgram` is the unit the execution controller dispatches:
+the non-GEMM instruction stream of one block, replayed once per tile.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List
+
+from .encoding import is_compute_opcode
+from .instructions import Instruction, decode
+from .opcodes import Opcode
+
+
+@dataclass
+class TandemProgram:
+    """An ordered instruction stream plus bookkeeping for analyses."""
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, inst: Instruction) -> None:
+        self.instructions.append(inst)
+
+    def extend(self, insts: Iterable[Instruction]) -> None:
+        self.instructions.extend(insts)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    # -- binary form ---------------------------------------------------------
+    def pack(self) -> List[int]:
+        return [inst.pack() for inst in self.instructions]
+
+    @classmethod
+    def unpack(cls, name: str, words: Iterable[int]) -> "TandemProgram":
+        return cls(name, [decode(w) for w in words])
+
+    def to_bytes(self) -> bytes:
+        return b"".join(w.to_bytes(4, "little") for w in self.pack())
+
+    @classmethod
+    def from_bytes(cls, name: str, blob: bytes) -> "TandemProgram":
+        if len(blob) % 4:
+            raise ValueError("program blob is not a whole number of words")
+        words = [int.from_bytes(blob[i:i + 4], "little")
+                 for i in range(0, len(blob), 4)]
+        return cls.unpack(name, words)
+
+    # -- analyses -------------------------------------------------------------
+    def opcode_histogram(self) -> Counter:
+        return Counter(inst.opcode for inst in self.instructions)
+
+    def compute_instruction_count(self) -> int:
+        return sum(1 for inst in self.instructions
+                   if is_compute_opcode(inst.opcode))
+
+    def config_instruction_count(self) -> int:
+        return len(self.instructions) - self.compute_instruction_count()
+
+    def disassemble(self) -> str:
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            lines.append(f"{pc:5d}: {inst.pack():08x}  {inst}")
+        return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""The paper's seven benchmark DNNs, defined programmatically."""
+
+from .bert import build_bert
+from .efficientnet import build_efficientnet
+from .gpt2 import build_gpt2
+from .mobilenetv2 import build_mobilenetv2
+from .resnet50 import build_resnet50
+from .tinynet import build_tinynet
+from .vgg16 import build_vgg16
+from .yolov3 import build_yolov3
+from .zoo import (
+    DISPLAY_NAMES,
+    MODEL_ORDER,
+    MODEL_YEARS,
+    available_models,
+    benchmark_models,
+    build_model,
+)
+
+__all__ = [
+    "DISPLAY_NAMES",
+    "MODEL_ORDER",
+    "MODEL_YEARS",
+    "available_models",
+    "benchmark_models",
+    "build_bert",
+    "build_efficientnet",
+    "build_gpt2",
+    "build_mobilenetv2",
+    "build_model",
+    "build_resnet50",
+    "build_tinynet",
+    "build_vgg16",
+    "build_yolov3",
+]

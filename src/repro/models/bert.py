@@ -1,0 +1,30 @@
+"""BERT-base (Devlin et al., 2018), sequence length 128, batch 1.
+
+12 encoder layers, hidden 768, 12 heads, FFN 3072, post-norm. The paper
+highlights BERT's "large number of mathematical and transpose operations"
+(5.4x speedup over Baseline 1) and its GeLU/Softmax/LayerNorm load.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+from .transformer import embedding, ffn, layer_norm, multi_head_attention
+
+
+def build_bert(seq: int = 128, hidden: int = 768, layers: int = 12,
+               heads: int = 12, intermediate: int = 3072) -> Graph:
+    b = GraphBuilder("bert")
+    tokens = b.input("tokens", (1, seq), dtype="int32")
+    # Word + position + segment embeddings, then embedding LayerNorm.
+    x = embedding(b, tokens, seq, hidden, n_tables=3)
+    x = layer_norm(b, x, hidden)
+    for _ in range(layers):
+        attn = multi_head_attention(b, x, seq, hidden, heads, causal=False)
+        x = layer_norm(b, b.add(x, attn), hidden)
+        ff = ffn(b, x, hidden, intermediate)
+        x = layer_norm(b, b.add(x, ff), hidden)
+    # Pooler: first-token slice -> dense -> Tanh.
+    pooled = b.emit("Slice", [x], (1, 1, hidden), "int32", {"axis": 1})
+    pooled = b.reshape(pooled, (1, hidden))
+    pooled = b.tanh(b.gemm(pooled, hidden))
+    return b.finish([x, pooled])

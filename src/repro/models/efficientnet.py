@@ -1,0 +1,65 @@
+"""EfficientNet-B0 (Tan & Le, 2019), 224x224 ImageNet inference.
+
+MBConv blocks with squeeze-and-excitation and Swish activations. Swish is
+emitted as Sigmoid + Mul (its ONNX decomposition), and SE adds
+GlobalAveragePool / Sigmoid / Mul traffic — this is the benchmark whose
+non-GEMM share reaches 81 % of runtime on Baseline 2 (Figure 3).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+#: (expansion, out channels, repeats, first stride, kernel) per stage.
+_SETTINGS = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def _swish(b: GraphBuilder, x: str) -> str:
+    return b.mul(x, b.sigmoid(x))
+
+
+def _squeeze_excite(b: GraphBuilder, x: str, channels: int, se_channels: int) -> str:
+    s = b.global_avgpool(x)
+    s = _swish(b, b.conv(s, se_channels, 1, pad=0))
+    s = b.sigmoid(b.conv(s, channels, 1, pad=0))
+    return b.mul(x, s)
+
+
+def _mbconv(b: GraphBuilder, x: str, in_ch: int, out_ch: int, stride: int,
+            expand: int, kernel: int) -> str:
+    identity = x
+    y = x
+    mid = in_ch * expand
+    if expand != 1:
+        y = _swish(b, b.conv(y, mid, 1, pad=0))
+    y = _swish(b, b.depthwise_conv(y, kernel, stride=stride))
+    y = _squeeze_excite(b, y, mid, max(1, in_ch // 4))
+    y = b.conv(y, out_ch, 1, pad=0)
+    if stride == 1 and in_ch == out_ch:
+        y = b.add(y, identity)
+    return y
+
+
+def build_efficientnet(input_size: int = 224) -> Graph:
+    b = GraphBuilder("efficientnet")
+    x = b.input("image", (1, 3, input_size, input_size))
+    x = _swish(b, b.conv(x, 32, 3, stride=2))
+    in_ch = 32
+    for expand, out_ch, repeats, first_stride, kernel in _SETTINGS:
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            x = _mbconv(b, x, in_ch, out_ch, stride, expand, kernel)
+            in_ch = out_ch
+    x = _swish(b, b.conv(x, 1280, 1, pad=0))
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, 1000)
+    return b.finish([x])

@@ -1,0 +1,30 @@
+"""GPT-2 124M (Radford et al., 2019), context length 256, batch 1.
+
+12 decoder layers, hidden 768, 12 heads, pre-norm, causal attention.
+The paper calls out ReduceMean (inside the LayerNorms) as the dominant
+residual non-GEMM cost for GPT-2 (Figure 24) and notes the scaled-up
+Tandem Processor becomes memory-bandwidth-bound on it (Figure 23).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+from .transformer import embedding, ffn, layer_norm, multi_head_attention
+
+
+def build_gpt2(seq: int = 256, hidden: int = 768, layers: int = 12,
+               heads: int = 12, intermediate: int = 3072) -> Graph:
+    b = GraphBuilder("gpt2")
+    tokens = b.input("tokens", (1, seq), dtype="int32")
+    # Token + position embeddings (pre-norm architecture: no embedding LN).
+    x = embedding(b, tokens, seq, hidden, n_tables=2)
+    for _ in range(layers):
+        attn = multi_head_attention(b, layer_norm(b, x, hidden), seq, hidden,
+                                    heads, causal=True)
+        x = b.add(x, attn)
+        ff = ffn(b, layer_norm(b, x, hidden), hidden, intermediate)
+        x = b.add(x, ff)
+    x = layer_norm(b, x, hidden)
+    # LM head: tied-embedding projection to the vocabulary.
+    logits = b.linear_weights_matmul(x, 50257)
+    return b.finish([logits])

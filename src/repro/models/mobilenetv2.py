@@ -1,0 +1,52 @@
+"""MobileNetV2 (Sandler et al., 2018), 224x224 ImageNet inference.
+
+Inverted-residual blocks: 1x1 expansion + Clip(0,6), 3x3 depth-wise
+convolution + Clip(0,6), 1x1 linear projection, residual Add. The
+depth-wise convolutions are the operators the paper repeatedly highlights
+(5.9x over Baseline 1, 35.3x over multi-core Gemmini).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+#: (expansion t, out channels c, repeats n, first stride s) per stage.
+_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(b: GraphBuilder, x: str, in_ch: int, out_ch: int,
+                       stride: int, expand: int) -> str:
+    identity = x
+    y = x
+    if expand != 1:
+        y = b.clip(b.conv(y, in_ch * expand, 1, pad=0), 0.0, 6.0)
+    y = b.clip(b.depthwise_conv(y, 3, stride=stride), 0.0, 6.0)
+    y = b.conv(y, out_ch, 1, pad=0)
+    if stride == 1 and in_ch == out_ch:
+        y = b.add(y, identity)
+    return y
+
+
+def build_mobilenetv2(input_size: int = 224) -> Graph:
+    b = GraphBuilder("mobilenetv2")
+    x = b.input("image", (1, 3, input_size, input_size))
+    x = b.clip(b.conv(x, 32, 3, stride=2), 0.0, 6.0)
+    in_ch = 32
+    for expand, out_ch, repeats, first_stride in _SETTINGS:
+        for i in range(repeats):
+            stride = first_stride if i == 0 else 1
+            x = _inverted_residual(b, x, in_ch, out_ch, stride, expand)
+            in_ch = out_ch
+    x = b.clip(b.conv(x, 1280, 1, pad=0), 0.0, 6.0)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, 1000)
+    return b.finish([x])

@@ -1,0 +1,40 @@
+"""ResNet-50 (He et al., 2016), 224x224 ImageNet inference.
+
+Bottleneck blocks with residual Adds; the final 7x7 GlobalAveragePool
+over 2048 channels is the layer the paper calls out as Gemmini's RISC-V
+bottleneck (Figure 17 discussion).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+#: (blocks, mid_channels, out_channels) per stage; stride 2 on stages 2-4.
+_STAGES = [(3, 64, 256), (4, 128, 512), (6, 256, 1024), (3, 512, 2048)]
+
+
+def _bottleneck(b: GraphBuilder, x: str, mid: int, out: int, stride: int,
+                downsample: bool) -> str:
+    identity = x
+    y = b.relu(b.conv(x, mid, 1, stride=1, pad=0))
+    y = b.relu(b.conv(y, mid, 3, stride=stride))
+    y = b.conv(y, out, 1, stride=1, pad=0)
+    if downsample:
+        identity = b.conv(x, out, 1, stride=stride, pad=0)
+    return b.relu(b.add(y, identity))
+
+
+def build_resnet50(input_size: int = 224) -> Graph:
+    b = GraphBuilder("resnet50")
+    x = b.input("image", (1, 3, input_size, input_size))
+    x = b.relu(b.conv(x, 64, 7, stride=2, pad=3))
+    x = b.maxpool(x, 3, 2, pad=1)
+    for stage_idx, (blocks, mid, out) in enumerate(_STAGES):
+        for block_idx in range(blocks):
+            stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+            downsample = block_idx == 0
+            x = _bottleneck(b, x, mid, out, stride, downsample)
+    x = b.global_avgpool(x)
+    x = b.flatten(x)
+    x = b.gemm(x, 1000)
+    return b.finish([x])

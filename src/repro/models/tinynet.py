@@ -1,0 +1,24 @@
+"""TinyNet: a deliberately small CNN used by functional end-to-end tests.
+
+Exercises one of each block topology the execution controller handles
+(GEMM-only, GEMM followed by fused non-GEMMs, non-GEMM-only) with tensor
+sizes small enough for the detailed cycle-by-cycle simulator.
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+
+def build_tinynet(input_size: int = 8) -> Graph:
+    b = GraphBuilder("tinynet")
+    x = b.input("image", (1, 4, input_size, input_size))
+    x = b.relu(b.conv(x, 8, 3))
+    skip = x
+    x = b.relu(b.conv(x, 8, 3))
+    x = b.add(x, skip)
+    x = b.maxpool(x, 2, 2)
+    x = b.flatten(x)
+    x = b.gemm(x, 10)
+    x = b.softmax(x, axis=-1)
+    return b.finish([x])

@@ -1,0 +1,98 @@
+"""Shared transformer building blocks for BERT and GPT-2.
+
+Emits the decomposed ONNX node patterns the paper's operator census sees:
+LayerNorm as ReduceMean/Sub/Pow/ReduceMean/Add/Sqrt/Div/Mul/Add, GeLU as a
+single Gelu node (the compiler lowers it to I-BERT integer primitives),
+multi-head attention with the Reshape/Transpose plumbing, and scaled
+Softmax.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import Tuple
+
+from ..graph import GraphBuilder
+
+
+def layer_norm(b: GraphBuilder, x: str, hidden: int) -> str:
+    """ONNX decomposition of LayerNorm over the last axis (9 nodes)."""
+    mean = b.reduce_mean(x, axis=-1, keepdims=True)
+    centered = b.sub(x, mean)
+    two = b.param("c_two", (1,), "int32")
+    squared = b.emit("Pow", [centered], b.spec(centered).shape, "int32",
+                      {"exponent": 2.0}, [two])
+    var = b.reduce_mean(squared, axis=-1, keepdims=True)
+    var_eps = b.add_scalar(var, 1e-5)
+    std = b.sqrt(var_eps)
+    normalized = b.div(centered, std)
+    gamma = b.param("w_ln_gamma", (hidden,), "int32")
+    scaled = b.emit("Mul", [normalized], b.spec(normalized).shape, "int32",
+                     {}, [gamma])
+    beta = b.param("w_ln_beta", (hidden,), "int32")
+    return b.emit("Add", [scaled], b.spec(scaled).shape, "int32", {}, [beta])
+
+
+def _split_heads(b: GraphBuilder, x: str, seq: int, heads: int,
+                 head_dim: int) -> str:
+    """(1, seq, hidden) -> (1, heads, seq, head_dim)."""
+    y = b.reshape(x, (1, seq, heads, head_dim))
+    return b.transpose(y, (0, 2, 1, 3))
+
+
+def _merge_heads(b: GraphBuilder, x: str, seq: int, hidden: int) -> str:
+    """(1, heads, seq, head_dim) -> (1, seq, hidden)."""
+    y = b.transpose(x, (0, 2, 1, 3))
+    return b.reshape(y, (1, seq, hidden))
+
+
+def multi_head_attention(b: GraphBuilder, x: str, seq: int, hidden: int,
+                         heads: int, causal: bool = False) -> str:
+    """Self-attention block: projections, scaled softmax, context, output."""
+    head_dim = hidden // heads
+    q = _add_bias(b, b.linear_weights_matmul(x, hidden), hidden)
+    k = _add_bias(b, b.linear_weights_matmul(x, hidden), hidden)
+    v = _add_bias(b, b.linear_weights_matmul(x, hidden), hidden)
+    q = _split_heads(b, q, seq, heads, head_dim)
+    k = _split_heads(b, k, seq, heads, head_dim)
+    v = _split_heads(b, v, seq, heads, head_dim)
+    kt = b.transpose(k, (0, 1, 3, 2))
+    scores = b.matmul(q, kt)
+    scores = b.div_scalar(scores, sqrt(head_dim))
+    # Padding mask (BERT) or causal mask (GPT-2) arrives as an additive
+    # tensor; both appear as one Add in the ONNX graphs.
+    mask = b.param("c_attn_mask", (1, 1, seq, seq), "int32")
+    scores = b.emit("Add", [scores], b.spec(scores).shape, "int32",
+                     {"causal": causal}, [mask])
+    probs = b.softmax(scores, axis=-1)
+    context = b.matmul(probs, v)
+    context = _merge_heads(b, context, seq, hidden)
+    return _add_bias(b, b.linear_weights_matmul(context, hidden), hidden)
+
+
+def _add_bias(b: GraphBuilder, x: str, features: int) -> str:
+    """Add a bias parameter (one ONNX Add node with a parameter operand)."""
+    bias = b.param("b_proj", (features,), "int32")
+    return b.emit("Add", [x], b.spec(x).shape, "int32", {}, [bias])
+
+
+def ffn(b: GraphBuilder, x: str, hidden: int, intermediate: int) -> str:
+    """Position-wise feed-forward: Linear -> GeLU -> Linear."""
+    y = _add_bias(b, b.linear_weights_matmul(x, intermediate), intermediate)
+    y = b.gelu(y)
+    return _add_bias(b, b.linear_weights_matmul(y, hidden), hidden)
+
+
+def embedding(b: GraphBuilder, tokens: str, seq: int, hidden: int,
+              n_tables: int) -> str:
+    """Gather-based embedding lookup(s) summed together, then cast."""
+    parts = []
+    for _ in range(n_tables):
+        table = b.param("w_embed", (30522, hidden), "int32")
+        parts.append(
+            b.emit("Gather", [tokens], (1, seq, hidden), "int32", {}, [table])
+        )
+    x = parts[0]
+    for part in parts[1:]:
+        x = b.add(x, part)
+    return x

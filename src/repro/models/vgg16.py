@@ -1,0 +1,28 @@
+"""VGG-16 (Simonyan & Zisserman, 2014), 224x224 ImageNet inference.
+
+The paper uses VGG-16 as the "first generation" DNN with only three
+non-GEMM operator types (Relu, MaxPool and layout/cast plumbing).
+"""
+
+from __future__ import annotations
+
+from ..graph import Graph, GraphBuilder
+
+#: Standard VGG-16 configuration "D": conv widths with 'M' = 2x2 maxpool.
+_CFG = [64, 64, "M", 128, 128, "M", 256, 256, 256, "M",
+        512, 512, 512, "M", 512, 512, 512, "M"]
+
+
+def build_vgg16(input_size: int = 224) -> Graph:
+    b = GraphBuilder("vgg16")
+    x = b.input("image", (1, 3, input_size, input_size))
+    for entry in _CFG:
+        if entry == "M":
+            x = b.maxpool(x, 2, 2)
+        else:
+            x = b.relu(b.conv(x, int(entry), 3))
+    x = b.flatten(x)
+    x = b.relu(b.gemm(x, 4096))
+    x = b.relu(b.gemm(x, 4096))
+    x = b.gemm(x, 1000)
+    return b.finish([x])

@@ -1,0 +1,65 @@
+"""YOLOv3 (Redmon & Farhadi, 2018), 416x416 object detection.
+
+Darknet-53 backbone (Conv + LeakyReLU everywhere, residual Adds) plus the
+three-scale detection head with Resize (upsample) and Concat — the layout
+operators Table 1 attributes to YOLOv3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..graph import Graph, GraphBuilder
+
+#: (residual repeats, block channels) per backbone stage after each
+#: stride-2 transition conv.
+_BACKBONE = [(1, 64), (2, 128), (8, 256), (8, 512), (4, 1024)]
+
+
+def _conv_lrelu(b: GraphBuilder, x: str, channels: int, kernel: int,
+                stride: int = 1) -> str:
+    pad = kernel // 2 if kernel > 1 else 0
+    return b.leaky_relu(b.conv(x, channels, kernel, stride=stride, pad=pad), 0.1)
+
+
+def _residual(b: GraphBuilder, x: str, channels: int) -> str:
+    y = _conv_lrelu(b, x, channels // 2, 1)
+    y = _conv_lrelu(b, y, channels, 3)
+    return b.add(x, y)
+
+
+def _head_block(b: GraphBuilder, x: str, channels: int) -> Tuple[str, str]:
+    """Five alternating convs; returns (branch point, detection features)."""
+    for _ in range(2):
+        x = _conv_lrelu(b, x, channels, 1)
+        x = _conv_lrelu(b, x, channels * 2, 3)
+    x = _conv_lrelu(b, x, channels, 1)
+    det = _conv_lrelu(b, x, channels * 2, 3)
+    return x, det
+
+
+def build_yolov3(input_size: int = 416) -> Graph:
+    b = GraphBuilder("yolov3")
+    x = b.input("image", (1, 3, input_size, input_size))
+    x = _conv_lrelu(b, x, 32, 3)
+    skips: List[str] = []
+    for repeats, channels in _BACKBONE:
+        x = _conv_lrelu(b, x, channels, 3, stride=2)
+        for _ in range(repeats):
+            x = _residual(b, x, channels)
+        skips.append(x)
+    route_52, route_26, route_13 = skips[2], skips[3], skips[4]
+
+    outputs = []
+    # Scale 1: 13x13.
+    branch, det = _head_block(b, route_13, 512)
+    outputs.append(b.conv(det, 255, 1, pad=0))
+    # Scale 2: 26x26.
+    up = b.resize(_conv_lrelu(b, branch, 256, 1), 2)
+    branch, det = _head_block(b, b.concat([up, route_26], axis=1), 256)
+    outputs.append(b.conv(det, 255, 1, pad=0))
+    # Scale 3: 52x52.
+    up = b.resize(_conv_lrelu(b, branch, 128, 1), 2)
+    _, det = _head_block(b, b.concat([up, route_52], axis=1), 128)
+    outputs.append(b.conv(det, 255, 1, pad=0))
+    return b.finish(outputs)

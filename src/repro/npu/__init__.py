@@ -1,0 +1,25 @@
+"""NPU-Tandem: GEMM unit + Tandem Processor integration."""
+
+from .config import NPUConfig, iso_a100_config, table3_config
+from .controller import BlockSchedule, ExecutionController, FsmState
+from .npu import NPUTandem
+from .runner import FunctionalRunner, to_permute_binding, to_tile_transfer
+from .trace import TraceEvent, overlap_fraction, render_timeline, trace_block, trace_model
+
+__all__ = [
+    "TraceEvent",
+    "overlap_fraction",
+    "render_timeline",
+    "trace_block",
+    "trace_model",
+    "BlockSchedule",
+    "ExecutionController",
+    "FsmState",
+    "FunctionalRunner",
+    "NPUConfig",
+    "NPUTandem",
+    "iso_a100_config",
+    "table3_config",
+    "to_permute_binding",
+    "to_tile_transfer",
+]

@@ -1,0 +1,56 @@
+"""NPU-Tandem configurations (Table 3 + the iso-TOPs A100 scale-up)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..gemm import SystolicParams
+from ..simulator.params import DramParams, SimParams, TandemParams
+
+
+@dataclass(frozen=True)
+class NPUConfig:
+    """One NPU-Tandem design point: GEMM unit + Tandem Processor."""
+
+    name: str = "npu-tandem"
+    sim: SimParams = field(default_factory=SimParams)
+    gemm: SystolicParams = field(default_factory=SystolicParams)
+    #: Tandem Processor core power (Section 8: 2.7 W at 65 nm, 1 GHz).
+    tandem_tdp_watts: float = 2.7
+    #: Always-on power of the rest of the NPU (clock tree, SRAM leakage,
+    #: controller) charged against wall-clock time.
+    static_watts: float = 1.0
+    #: Parallel Tandem Processor instances (iso-TOPs scale-up): tiles are
+    #: distributed across units, each a Table 3 32-lane core.
+    tandem_units: int = 1
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.gemm.frequency_hz
+
+
+def table3_config() -> NPUConfig:
+    """The paper's evaluation configuration (Table 3)."""
+    return NPUConfig()
+
+
+def iso_a100_config(scale: int = 216) -> NPUConfig:
+    """Iso-TOPs scale-up (Section 7): 216x MACs and 216x SIMD lanes.
+
+    The scaled design is paired with an HBM-class memory system like the
+    A100's (the paper notes the scaled-up Tandem Processor becomes
+    memory-bandwidth-bound on GPT-2, which requires a finite but large
+    bandwidth).
+    """
+    base = NPUConfig()
+    hbm = DramParams(bandwidth_bytes_per_s=1555.0e9, latency_cycles=200,
+                     energy_pj_per_byte=7.0)
+    # Each unit keeps the Table 3 shape (32 lanes, same buffers), so the
+    # compiler's tiling is unchanged and tiles fan out across units.
+    sim = SimParams(tandem=base.sim.tandem, dram=hbm, energy=base.sim.energy,
+                    overlay=base.sim.overlay)
+    return NPUConfig(name=f"npu-tandem-x{scale}", sim=sim,
+                     gemm=base.gemm.scaled(scale),
+                     tandem_tdp_watts=base.tandem_tdp_watts * scale,
+                     static_watts=base.static_watts * scale,
+                     tandem_units=scale)

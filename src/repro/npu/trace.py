@@ -1,0 +1,115 @@
+"""Execution traces: the Figure 10 timeline, reconstructed per block.
+
+``trace_model`` replays the controller's tile schedule and records when
+each unit works on each tile, producing the software-pipelining picture
+(GEMM on tile i+1 while the Tandem Processor consumes tile i) as data
+and as ASCII art.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import List, Optional, Union
+
+from ..compiler import CompiledModel
+from ..graph import Graph
+from ..simulator import estimate
+from .npu import NPUTandem
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    block: str
+    unit: str          # "gemm" | "tandem"
+    tile: int
+    start_cycle: int
+    end_cycle: int
+
+    @property
+    def duration(self) -> int:
+        return self.end_cycle - self.start_cycle
+
+
+def trace_block(name: str, tiles: int, g: int, t: int, release: int,
+                origin: int = 0, max_tiles: int = 64) -> List[TraceEvent]:
+    """Replay the double-buffered tile recurrence into events."""
+    events: List[TraceEvent] = []
+    gemm_done = origin
+    tandem_done = origin
+    release_two_back = origin
+    release_one_back = origin
+    for i in range(min(tiles, max_tiles)):
+        if g:
+            gemm_start = max(gemm_done, release_two_back)
+            gemm_done = gemm_start + g
+            events.append(TraceEvent(name, "gemm", i, gemm_start, gemm_done))
+        if t:
+            tandem_start = max(tandem_done, gemm_done if g else tandem_done)
+            release_two_back = release_one_back
+            release_one_back = tandem_start + release
+            tandem_done = tandem_start + t
+            events.append(TraceEvent(name, "tandem", i, tandem_start,
+                                     tandem_done))
+    return events
+
+
+def trace_model(graph: Union[str, Graph, CompiledModel],
+                npu: Optional[NPUTandem] = None,
+                max_tiles_per_block: int = 64) -> List[TraceEvent]:
+    npu = npu or NPUTandem()
+    model = graph if isinstance(graph, CompiledModel) else npu.compile(graph)
+    events: List[TraceEvent] = []
+    origin = 0
+    for cb in model.blocks:
+        g_total = cb.gemm_cost.cycles if cb.gemm_cost is not None else 0
+        g = ceil(g_total / cb.tiles) if g_total else 0
+        t = 0
+        release = 0
+        if cb.tile is not None:
+            result = estimate(cb.tile.meta, model.sim_params)
+            t = result.pipelined_cycles
+            release = int(t * cb.tile.obuf_release_fraction)
+        block_events = trace_block(cb.name, cb.tiles, g, t, release,
+                                   origin=origin,
+                                   max_tiles=max_tiles_per_block)
+        events.extend(block_events)
+        if block_events:
+            origin = max(e.end_cycle for e in block_events)
+    return events
+
+
+def render_timeline(events: List[TraceEvent], width: int = 72) -> str:
+    """ASCII Gantt view: one row per unit, '#' where the unit is busy."""
+    if not events:
+        return "(empty trace)"
+    start = min(e.start_cycle for e in events)
+    end = max(e.end_cycle for e in events)
+    span = max(end - start, 1)
+    rows = {"gemm": [" "] * width, "tandem": [" "] * width}
+    for event in events:
+        lo = int((event.start_cycle - start) / span * (width - 1))
+        hi = max(lo + 1, int((event.end_cycle - start) / span * (width - 1)))
+        for i in range(lo, min(hi, width)):
+            rows[event.unit][i] = "#"
+    lines = [f"cycles {start}..{end}"]
+    for unit in ("gemm", "tandem"):
+        lines.append(f"{unit:>6s} |{''.join(rows[unit])}|")
+    return "\n".join(lines)
+
+
+def overlap_fraction(events: List[TraceEvent]) -> float:
+    """Fraction of busy cycles where both units work simultaneously."""
+    points = sorted({e.start_cycle for e in events}
+                    | {e.end_cycle for e in events})
+    overlap = 0
+    busy = 0
+    for lo, hi in zip(points, points[1:]):
+        mid = (lo + hi) / 2
+        active = {e.unit for e in events
+                  if e.start_cycle <= mid < e.end_cycle}
+        if active:
+            busy += hi - lo
+        if len(active) == 2:
+            overlap += hi - lo
+    return overlap / busy if busy else 0.0

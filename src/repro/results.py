@@ -1,0 +1,61 @@
+"""Common result types shared by the NPU-Tandem and every baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunResult:
+    """End-to-end outcome of running one model on one design point.
+
+    ``gemm_seconds``/``nongemm_seconds``/``comm_seconds`` are *busy*
+    attributions (they can sum to more than ``total_seconds`` on designs
+    that overlap units, and to ``total_seconds`` on serialized ones).
+    ``per_op_seconds`` attributes non-GEMM time per operator type
+    (Figure 24); ``energy_breakdown`` is joules per component
+    (Figure 25).
+    """
+
+    design: str
+    model: str
+    total_seconds: float
+    gemm_seconds: float = 0.0
+    nongemm_seconds: float = 0.0
+    comm_seconds: float = 0.0
+    energy_joules: float = 0.0
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    per_op_seconds: Dict[str, float] = field(default_factory=dict)
+    gemm_utilization: float = 0.0
+    nongemm_utilization: float = 0.0
+
+    @property
+    def average_power_watts(self) -> float:
+        if self.total_seconds == 0:
+            return 0.0
+        return self.energy_joules / self.total_seconds
+
+    @property
+    def throughput_per_second(self) -> float:
+        return 1.0 / self.total_seconds if self.total_seconds else 0.0
+
+    def speedup_over(self, other: "RunResult") -> float:
+        return other.total_seconds / self.total_seconds
+
+    def energy_reduction_over(self, other: "RunResult") -> float:
+        return other.energy_joules / self.energy_joules
+
+    def perf_per_watt(self) -> float:
+        power = self.average_power_watts
+        return self.throughput_per_second / power if power else 0.0
+
+
+def geomean(values) -> float:
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,70 @@
+"""Event-based energy accounting for the Tandem Processor.
+
+Components map one-to-one onto Figure 25's breakdown: off-chip DRAM,
+on-chip scratchpad (Interim BUF) accesses, ALU logic, loop + address
+calculation logic, and "rest" (decode, muxing, pipeline registers).
+An extra register-file component exists only under VPU-emulation
+overlays (it is what the Tandem Processor design deletes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulated energy per component, in picojoules."""
+
+    dram_pj: float = 0.0
+    spad_pj: float = 0.0
+    alu_pj: float = 0.0
+    loop_addr_pj: float = 0.0
+    other_pj: float = 0.0
+    regfile_pj: float = 0.0
+
+    def total_pj(self) -> float:
+        return (self.dram_pj + self.spad_pj + self.alu_pj +
+                self.loop_addr_pj + self.other_pj + self.regfile_pj)
+
+    def total_joules(self) -> float:
+        return self.total_pj() * 1e-12
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractions per component (Figure 25's y-axis)."""
+        total = self.total_pj()
+        if total == 0:
+            return {name: 0.0 for name in self.component_names()}
+        return {
+            "dram": self.dram_pj / total,
+            "on_chip_sram": self.spad_pj / total,
+            "alu": self.alu_pj / total,
+            "loop_addr": self.loop_addr_pj / total,
+            "other": self.other_pj / total,
+            "regfile": self.regfile_pj / total,
+        }
+
+    @staticmethod
+    def component_names() -> tuple:
+        return ("dram", "on_chip_sram", "alu", "loop_addr", "other", "regfile")
+
+    def add(self, other: "EnergyLedger") -> "EnergyLedger":
+        return EnergyLedger(
+            dram_pj=self.dram_pj + other.dram_pj,
+            spad_pj=self.spad_pj + other.spad_pj,
+            alu_pj=self.alu_pj + other.alu_pj,
+            loop_addr_pj=self.loop_addr_pj + other.loop_addr_pj,
+            other_pj=self.other_pj + other.other_pj,
+            regfile_pj=self.regfile_pj + other.regfile_pj,
+        )
+
+    def scaled(self, factor: float) -> "EnergyLedger":
+        return EnergyLedger(
+            dram_pj=self.dram_pj * factor,
+            spad_pj=self.spad_pj * factor,
+            alu_pj=self.alu_pj * factor,
+            loop_addr_pj=self.loop_addr_pj * factor,
+            other_pj=self.other_pj * factor,
+            regfile_pj=self.regfile_pj * factor,
+        )

@@ -1,0 +1,276 @@
+"""Vectorized (instruction-major) nest execution for the machine.
+
+The detailed machine replays loop bodies point-major, exactly like the
+Code Repeater — bit-exact but slow in Python. Because the compiler's
+dependency relaxation (Section 6) makes body instructions point-wise
+independent, a nest can instead be executed *instruction-major* with
+numpy over the whole iteration grid. This module implements that fast
+path with a hazard check that falls back to the scalar interpreter when
+independence cannot be proven, so results are always identical.
+
+Enabled with ``TandemMachine(..., fast=True)``; equivalence against the
+scalar path is asserted by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.integer_ops import (
+    v_add,
+    v_and,
+    v_div,
+    v_lshift,
+    v_max,
+    v_min,
+    v_mul,
+    v_or,
+    v_rshift,
+    v_sub,
+    w32,
+)
+from ..isa import AluFunc, CalculusFunc, ComparisonFunc, Instruction, Opcode
+
+_BINARY = {
+    AluFunc.ADD: v_add, AluFunc.SUB: v_sub, AluFunc.MUL: v_mul,
+    AluFunc.DIV: v_div, AluFunc.MAX: v_max, AluFunc.MIN: v_min,
+    AluFunc.RSHIFT: v_rshift, AluFunc.LSHIFT: v_lshift,
+    AluFunc.AND: v_and, AluFunc.OR: v_or,
+}
+
+#: Accumulation reducers for read-modify-write destinations.
+_REDUCERS = {
+    AluFunc.ADD: lambda x, axes: x.sum(axis=axes),
+    AluFunc.MAX: lambda x, axes: x.max(axis=axes),
+    AluFunc.MIN: lambda x, axes: x.min(axis=axes),
+}
+
+
+def _address_grid(entry, counts: Sequence[int]) -> np.ndarray:
+    """Addresses over the whole loop grid, shaped like ``counts``."""
+    addr = np.full(tuple(counts), entry.base, dtype=np.int64)
+    for level, count in enumerate(counts):
+        stride = entry.strides[level] if level < len(entry.strides) else 0
+        if stride:
+            shape = [1] * len(counts)
+            shape[level] = count
+            addr = addr + stride * np.arange(count).reshape(shape)
+    return addr
+
+
+def _walk_key(entry, levels: int) -> Tuple:
+    strides = tuple(entry.strides[:levels]) + (0,) * max(
+        0, levels - len(entry.strides))
+    return (entry.base, strides)
+
+
+class FastNestExecutor:
+    """Executes one nest instruction-major; ``supported`` gates use."""
+
+    def __init__(self, machine, loops: List[Tuple[int, int]],
+                 body: List[Instruction]):
+        self.machine = machine
+        self.counts = [count for _, count in loops] or [1]
+        self.body = body
+        self.levels = len(self.counts)
+
+    # -- legality ----------------------------------------------------------------
+    def _entry(self, operand):
+        return self.machine.iter_tables[operand.ns].lookup(operand.iter_idx)
+
+    def _reads_of(self, inst: Instruction):
+        if self.machine._is_unary(inst):
+            return [inst.src1]
+        return [inst.src1, inst.src2]
+
+    def _is_duplicate_dst(self, entry) -> bool:
+        return any(
+            count > 1 and (level >= len(entry.strides)
+                           or entry.strides[level] == 0)
+            for level, count in enumerate(self.counts))
+
+    def supported(self) -> bool:
+        """Instruction-major == point-major for this nest?
+
+        Safe when, for every (writer, reader) statement pair touching
+        the same buffer, the reader's walk equals the writer's walk and
+        that walk is injective over the iteration grid (each point a
+        distinct element): then the value a point reads is produced by
+        the same ordered predecessor in both schedules. Commutative
+        stride-0 accumulations (ADD/MAX/MIN/MACC into a shared
+        destination) are folded with a reduction instead, provided no
+        other statement reads the partially-accumulated buffer.
+        """
+        infos = []
+        for inst in self.body:
+            dst_entry = self._entry(inst.dst)
+            duplicate = self._is_duplicate_dst(dst_entry)
+            infos.append((inst, dst_entry, duplicate))
+            if duplicate:
+                if inst.opcode != Opcode.ALU:
+                    return False
+                func = AluFunc(inst.func)
+                if func == AluFunc.MACC:
+                    continue
+                if func not in _REDUCERS:
+                    return False
+                src1_key = _walk_key(self._entry(inst.src1), self.levels)
+                if (inst.src1.ns, src1_key) != (
+                        inst.dst.ns, _walk_key(dst_entry, self.levels)):
+                    return False
+
+        for w, (writer, w_entry, w_dup) in enumerate(infos):
+            w_key = (writer.dst.ns, _walk_key(w_entry, self.levels))
+            for r, (reader, _r_entry, _r_dup) in enumerate(infos):
+                if r == w:
+                    continue
+                for read in self._reads_of(reader):
+                    if read is None or read.ns != writer.dst.ns:
+                        continue
+                    read_entry = self._entry(read)
+                    read_key = (read.ns, _walk_key(read_entry, self.levels))
+                    if read_key[1][0] != w_key[1][0]:
+                        continue  # disjoint allocations
+                    if w_dup:
+                        # Reading a partially-accumulated buffer is
+                        # schedule-dependent, except the accumulation's
+                        # own read-modify-write source.
+                        if not (r == w and read in (reader.src1, reader.src2)):
+                            return False
+                    elif read_key != w_key:
+                        return False  # same buffer, different walk
+        return True
+
+    # -- execution -----------------------------------------------------------------
+    def run(self) -> None:
+        for inst in self.body:
+            self._execute(inst)
+
+    def _load(self, operand) -> np.ndarray:
+        entry = self._entry(operand)
+        addr = _address_grid(entry, self.counts)
+        pad = self.machine.pads[operand.ns]
+        pad.reads += addr.size
+        return pad.data[addr.reshape(-1)].reshape(addr.shape)
+
+    def _store(self, operand, values: np.ndarray) -> None:
+        entry = self._entry(operand)
+        addr = _address_grid(entry, self.counts)
+        pad = self.machine.pads[operand.ns]
+        pad.writes += addr.size
+        values = w32(values)
+        if self.machine.cast_mode is not None:
+            from .alu import cast_value
+            bits = {"fxp16": 16, "fxp8": 8, "fxp4": 4}[self.machine.cast_mode]
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+            values = np.clip(values, lo, hi)
+        pad.data[addr.reshape(-1)] = np.broadcast_to(
+            values, addr.shape).reshape(-1)
+
+    def _reduced_axes(self, operand) -> Tuple[int, ...]:
+        entry = self._entry(operand)
+        return tuple(
+            level for level, count in enumerate(self.counts)
+            if count > 1 and (level >= len(entry.strides)
+                              or entry.strides[level] == 0))
+
+    def _execute(self, inst: Instruction) -> None:
+        machine = self.machine
+        if inst.opcode == Opcode.CALCULUS:
+            x = self._load(inst.src1)
+            func = CalculusFunc(inst.func)
+            if func == CalculusFunc.ABS:
+                out = w32(np.abs(x))
+            elif func == CalculusFunc.SIGN:
+                out = np.sign(x).astype(np.int64)
+            else:
+                out = w32(-x)
+            self._store(inst.dst, out)
+            return
+        if inst.opcode == Opcode.COMPARISON:
+            a = self._load(inst.src1)
+            b = self._load(inst.src2)
+            func = ComparisonFunc(inst.func)
+            table = {
+                ComparisonFunc.EQ: a == b, ComparisonFunc.NE: a != b,
+                ComparisonFunc.GT: a > b, ComparisonFunc.GE: a >= b,
+                ComparisonFunc.LT: a < b, ComparisonFunc.LE: a <= b,
+            }
+            self._store(inst.dst, table[func].astype(np.int64))
+            return
+
+        func = AluFunc(inst.func)
+        if func == AluFunc.MOVE:
+            self._store(inst.dst, self._load(inst.src1))
+            return
+        if func == AluFunc.NOT:
+            self._store(inst.dst, w32(~self._load(inst.src1)))
+            return
+        if func == AluFunc.COND_MOVE:
+            flags = self._load(inst.src2) != 0
+            entry = self._entry(inst.dst)
+            addr = _address_grid(entry, self.counts).reshape(-1)
+            values = np.broadcast_to(self._load(inst.src1),
+                                     tuple(self.counts)).reshape(-1)
+            mask = np.broadcast_to(flags, tuple(self.counts)).reshape(-1)
+            pad = machine.pads[inst.dst.ns]
+            pad.writes += int(mask.sum())
+            pad.data[addr[mask]] = w32(values)[mask]
+            return
+
+        reduced = self._reduced_axes(inst.dst)
+        if reduced and func == AluFunc.MACC:
+            partial = self._load(inst.src1) * self._load(inst.src2)
+            summed = partial.sum(axis=reduced)
+            current = self._load_reduced(inst.dst, reduced)
+            self._store_reduced(inst.dst, w32(current + summed), reduced)
+            return
+        if reduced and func in _REDUCERS:
+            # Read-modify-write accumulation: combine src2 over the
+            # reduced axes, seeded with the current destination values.
+            src2 = self._load(inst.src2)
+            current = self._load_reduced(inst.dst, reduced)
+            if func == AluFunc.ADD:
+                out = w32(current + src2.sum(axis=reduced))
+            elif func == AluFunc.MAX:
+                out = np.maximum(current, src2.max(axis=reduced))
+            else:
+                out = np.minimum(current, src2.min(axis=reduced))
+            self._store_reduced(inst.dst, out, reduced)
+            return
+
+        a = self._load(inst.src1)
+        if func == AluFunc.MACC:
+            b = self._load(inst.src2)
+            self._store(inst.dst, w32(self._load(inst.dst) + a * b))
+            return
+        b = self._load(inst.src2)
+        self._store(inst.dst, _BINARY[func](a, b))
+
+    def _load_reduced(self, operand, reduced: Tuple[int, ...]) -> np.ndarray:
+        entry = self._entry(operand)
+        counts = [1 if level in reduced else count
+                  for level, count in enumerate(self.counts)]
+        addr = _address_grid(entry, counts)
+        pad = self.machine.pads[operand.ns]
+        pad.reads += addr.size
+        return pad.data[addr.reshape(-1)].reshape(
+            tuple(c for level, c in enumerate(counts)
+                  if level not in reduced))
+
+    def _store_reduced(self, operand, values: np.ndarray,
+                       reduced: Tuple[int, ...]) -> None:
+        entry = self._entry(operand)
+        counts = [1 if level in reduced else count
+                  for level, count in enumerate(self.counts)]
+        addr = _address_grid(entry, counts)
+        pad = self.machine.pads[operand.ns]
+        pad.writes += addr.size
+        values = w32(values)
+        if self.machine.cast_mode is not None:
+            bits = {"fxp16": 16, "fxp8": 8, "fxp4": 4}[self.machine.cast_mode]
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+            values = np.clip(values, lo, hi)
+        pad.data[addr.reshape(-1)] = values.reshape(-1)

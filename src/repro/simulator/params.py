@@ -1,0 +1,104 @@
+"""Microarchitectural and technology parameters for the simulator.
+
+Defaults reproduce Table 3 (32 lanes, 128 KB Interim BUF 1&2, INT32 ALUs,
+1 GHz) plus energy constants in the style of CACTI-P / 65 nm estimates.
+The energy constants are calibrated so the component breakdown lands in
+the neighbourhood the paper reports in Figure 25 (DRAM ~31 %, on-chip
+SRAM ~13 %, ALU ~12 %, loop + address logic ~40 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TandemParams:
+    """The Tandem Processor core (Table 3, right column)."""
+
+    lanes: int = 32
+    interim_buf_kb: int = 64      # each of Interim BUF 1 and 2
+    obuf_kb: int = 128            # GEMM accumulator buffer it takes ownership of
+    imm_slots: int = 32
+    pipeline_depth: int = 8       # fetch..writeback stages (Figure 9)
+    frequency_hz: float = 1.0e9
+    max_loop_levels: int = 8
+    iter_table_entries: int = 32
+
+    @property
+    def interim_buf_words(self) -> int:
+        return self.interim_buf_kb * 1024 // 4
+
+    @property
+    def obuf_words(self) -> int:
+        return self.obuf_kb * 1024 // 4
+
+
+@dataclass(frozen=True)
+class DramParams:
+    """Off-chip memory attached to the Data Access Engine."""
+
+    bandwidth_bytes_per_s: float = 32.0e9   # LPDDR-class NPU memory system
+    latency_cycles: int = 100               # first-access latency per tile burst
+    energy_pj_per_byte: float = 22.6        # DRAM access energy (CACTI-P class)
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies in picojoules (65 nm, CACTI-P style).
+
+    ``loop_addr_pj_per_issue`` covers the Code Repeater plus the strided
+    address calculation front-end: per issued vector instruction it
+    updates up to eight loop counters and produces three scratchpad
+    addresses for all lanes — the paper measures this logic at ~40 % of
+    Tandem energy (Figure 25), the single largest component.
+    """
+
+    spad_pj_per_word: float = 4.56          # 32-bit scratchpad read or write
+    alu_pj_per_lane_op: float = 10.8        # one INT32 primitive op (mul-capable)
+    loop_addr_pj_per_issue: float = 439.0   # per vector instruction issued
+    decode_pj_per_inst: float = 18.0        # decode of one instruction word
+    pipeline_pj_per_issue: float = 45.0     # muxing + pipeline registers
+    regfile_pj_per_word: float = 2.4        # only in VPU-emulation overlays
+
+
+@dataclass(frozen=True)
+class VpuOverlay:
+    """Overheads toggled on to emulate a conventional vector unit.
+
+    Used for both the Figure 6 what-if ablations (adding one conventional
+    overhead back at a time) and the full TPU+VPU baseline (Figure 18/19).
+    With every flag False this is the Tandem Processor itself.
+    """
+
+    regfile_loads: bool = False        # LD/ST through a vector register file
+    conventional_loops: bool = False   # branch-based loop management
+    explicit_address_calc: bool = False  # address arithmetic as instructions
+    fifo_coupling: bool = False        # GEMM->VPU via FIFOs, not OBUF ownership
+    special_functions: bool = False    # single-instruction exp/sqrt/...
+
+    #: Extra instructions per two-operand compute instruction, Section 3.2:
+    #: "three extra instructions would be required solely for address
+    #: calculation".
+    ADDR_CALC_INSTS: int = 3
+    #: Vector register file traffic per compute instruction: two loads and
+    #: one store (Section 3.1).
+    REGFILE_LD_ST: int = 3
+    #: Branch-based loop management per (vectorized) innermost
+    #: iteration: increment, compare, branch, plus the address-increment
+    #: bookkeeping the Code Repeater absorbs in hardware.
+    LOOP_BRANCH_INSTS: int = 5
+
+
+@dataclass(frozen=True)
+class SimParams:
+    """Bundle handed to the machine/analytic models."""
+
+    tandem: TandemParams = field(default_factory=TandemParams)
+    dram: DramParams = field(default_factory=DramParams)
+    energy: EnergyParams = field(default_factory=EnergyParams)
+    overlay: VpuOverlay = field(default_factory=VpuOverlay)
+
+    def with_overlay(self, overlay: VpuOverlay) -> "SimParams":
+        return SimParams(tandem=self.tandem, dram=self.dram,
+                         energy=self.energy, overlay=overlay)

@@ -1,0 +1,125 @@
+"""Shared timing model for loop-nest execution.
+
+Both the detailed machine (which also computes real data) and the
+analytic model (used for full-network sweeps) charge cycles through
+:func:`nest_timing`, so the two modes agree by construction on nest
+bodies and differ only in the surrounding bookkeeping the analytic model
+estimates statically — mirroring the paper's simulator-vs-RTL <=5 %
+validation.
+
+Timing rules (Section 4.1, Figure 9):
+
+* The pipeline issues one vector instruction per cycle (II = 1); the
+  Code Repeater and the strided-address stage add no per-iteration
+  bubbles.
+* The innermost loop is vectorized across the SIMD lanes when every
+  operand walks it with stride 0 (broadcast / immediate) or 1 (unit);
+  other strides bank-conflict and issue lane-serially.
+* A lane reduction (destination stride 0 while a source walks the
+  innermost loop) pays a log2(lanes) combining-tree drain per outer
+  iteration.
+* VPU-emulation overlays add the conventional overheads the Tandem
+  Processor design removes (Figure 6): register-file LD/ST traffic,
+  explicit address-calculation instructions, and branch-based loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from .params import TandemParams, VpuOverlay
+
+
+@dataclass(frozen=True)
+class BodyOpMeta:
+    """Static shape of one body instruction, enough to time it."""
+
+    dst_inner_stride: int
+    src_inner_strides: Tuple[int, ...]
+    mem_reads: int   # scratchpad source operands (IMM operands excluded)
+    mem_writes: int  # scratchpad destination operands
+
+    def vectorizable(self) -> bool:
+        strides = (self.dst_inner_stride, *self.src_inner_strides)
+        return all(s in (0, 1) for s in strides)
+
+    def lane_reduction(self) -> bool:
+        return (self.dst_inner_stride == 0
+                and any(s != 0 for s in self.src_inner_strides))
+
+
+@dataclass
+class NestTiming:
+    """Cycle/energy-event accounting for one executed loop nest."""
+
+    cycles: int = 0
+    vector_issues: int = 0          # Tandem-style fused compute issues
+    scalar_points: int = 0          # element-level operations executed
+    reduce_tree_cycles: int = 0
+    regfile_issues: int = 0         # overlay: vector LD/ST through the RF
+    addr_calc_issues: int = 0       # overlay: explicit address arithmetic
+    loop_branch_cycles: int = 0     # overlay: branch-based loop management
+    spad_accesses: int = 0          # operand reads+writes hitting scratchpads
+
+
+def nest_points(counts: Sequence[int]) -> int:
+    total = 1
+    for c in counts:
+        total *= c
+    return total
+
+
+def nest_timing(counts: Sequence[int], body: Sequence[BodyOpMeta],
+                params: TandemParams, overlay: VpuOverlay) -> NestTiming:
+    """Time one loop nest of ``body`` instructions over ``counts`` levels."""
+    if not counts:
+        counts = [1]
+    inner = counts[-1]
+    outer = nest_points(counts[:-1])
+    points = outer * inner
+    lanes = params.lanes
+    timing = NestTiming()
+    timing.scalar_points = points * len(body)
+
+    vector_chunks = outer * math.ceil(inner / lanes)
+    for op in body:
+        if op.vectorizable():
+            issues = vector_chunks
+            if op.lane_reduction():
+                timing.reduce_tree_cycles += outer * int(math.log2(lanes))
+        else:
+            issues = points
+        timing.vector_issues += issues
+        timing.spad_accesses += points * (op.mem_reads + op.mem_writes)
+        if overlay.explicit_address_calc:
+            timing.addr_calc_issues += VpuOverlay.ADDR_CALC_INSTS * issues
+
+    if overlay.regfile_loads:
+        # Tensor operands are loaded to / stored from the vector register
+        # file once per vector chunk; intermediates stay in registers.
+        # This is why long fused bodies are relatively cheaper than
+        # single-op bodies on a VPU (Figure 6a).
+        nest_inputs = max(1, max((op.mem_reads for op in body), default=1))
+        nest_outputs = 1
+        timing.regfile_issues += vector_chunks * (nest_inputs + nest_outputs)
+
+    if overlay.conventional_loops:
+        # increment + compare + branch per (vectorized) innermost
+        # iteration, plus the same bookkeeping at each outer-level wrap.
+        wraps = sum(nest_points(counts[:level + 1])
+                    for level in range(len(counts) - 1))
+        timing.loop_branch_cycles = (
+            VpuOverlay.LOOP_BRANCH_INSTS * (vector_chunks + wraps)
+        )
+
+    timing.cycles = (
+        timing.vector_issues
+        + timing.reduce_tree_cycles
+        + timing.regfile_issues
+        + timing.addr_calc_issues
+        + timing.loop_branch_cycles
+        + params.pipeline_depth  # fill at nest entry
+    )
+    return timing

@@ -1,0 +1,108 @@
+"""Software-managed on-chip scratchpads ("Namespaces", Section 4.1).
+
+The Tandem Processor has no register file and no cache: every operand
+read or write lands in one of these single-level buffers. Access counts
+feed the energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Namespace
+
+
+class ScratchpadError(IndexError):
+    """Out-of-bounds scratchpad access (compiler/tiling bug)."""
+
+
+class Scratchpad:
+    """One namespace: a flat array of 32-bit words with access counting."""
+
+    def __init__(self, name: str, words: int):
+        self.name = name
+        self.words = words
+        self.data = np.zeros(words, dtype=np.int64)
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, addr: int) -> None:
+        if not 0 <= addr < self.words:
+            raise ScratchpadError(
+                f"{self.name}: address {addr} out of range [0, {self.words})"
+            )
+
+    def read(self, addr: int) -> int:
+        self._check(addr)
+        self.reads += 1
+        return int(self.data[addr])
+
+    def write(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self.writes += 1
+        self.data[addr] = _wrap_int32(value)
+
+    # Bulk views used by the Data Access Engine and the GEMM unit; the
+    # caller accounts for accesses (DAE traffic is DRAM-side, GEMM-side
+    # writes are charged to the GEMM unit's energy model).
+    def load_block(self, base: int, values: np.ndarray) -> None:
+        end = base + values.size
+        if end > self.words:
+            raise ScratchpadError(
+                f"{self.name}: block [{base}, {end}) exceeds {self.words} words"
+            )
+        self.data[base:end] = values.reshape(-1).astype(np.int64)
+
+    def store_block(self, base: int, count: int) -> np.ndarray:
+        end = base + count
+        if end > self.words:
+            raise ScratchpadError(
+                f"{self.name}: block [{base}, {end}) exceeds {self.words} words"
+            )
+        return self.data[base:end].copy()
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+
+def _wrap_int32(value: int) -> int:
+    """INT32 two's-complement wraparound (the ALU datapath width)."""
+    value &= 0xFFFFFFFF
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+@dataclass
+class ScratchpadFile:
+    """All namespaces of one Tandem Processor instance."""
+
+    pads: Dict[Namespace, Scratchpad]
+
+    @classmethod
+    def build(cls, interim_words: int, obuf_words: int, imm_slots: int,
+              vmem_words: int) -> "ScratchpadFile":
+        return cls({
+            Namespace.IBUF1: Scratchpad("IBUF1", interim_words),
+            Namespace.IBUF2: Scratchpad("IBUF2", interim_words),
+            Namespace.OBUF: Scratchpad("OBUF", obuf_words),
+            Namespace.IMM: Scratchpad("IMM", imm_slots),
+            Namespace.VMEM: Scratchpad("VMEM", vmem_words),
+        })
+
+    def __getitem__(self, ns: Namespace) -> Scratchpad:
+        return self.pads[ns]
+
+    def total_reads(self) -> int:
+        return sum(p.reads for p in self.pads.values())
+
+    def total_writes(self) -> int:
+        return sum(p.writes for p in self.pads.values())
+
+    def reset_counters(self) -> None:
+        for pad in self.pads.values():
+            pad.reset_counters()

@@ -1,0 +1,25 @@
+"""Shared fixtures: cached model builds and design evaluations."""
+
+import numpy as np
+import pytest
+
+from repro.models import MODEL_ORDER, build_model
+from repro.npu import NPUTandem
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def all_models():
+    """The seven benchmark graphs (memoized by the zoo)."""
+    return {name: build_model(name) for name in MODEL_ORDER}
+
+
+@pytest.fixture(scope="session")
+def npu_results():
+    """NPU-Tandem end-to-end results for all benchmarks (computed once)."""
+    npu = NPUTandem()
+    return {name: npu.evaluate(name) for name in MODEL_ORDER}

@@ -1,0 +1,88 @@
+"""Scalar ALU semantics, cross-checked against the vectorized reference."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler import integer_ops as vec
+from repro.isa import AluFunc, CalculusFunc, ComparisonFunc
+from repro.simulator import (
+    ALU_OPS,
+    CALCULUS_OPS,
+    COMPARISON_OPS,
+    cast_value,
+    wrap32,
+)
+from repro.simulator.alu import INT32_MAX, INT32_MIN
+
+int32s = st.integers(INT32_MIN, INT32_MAX)
+
+_VEC = {
+    AluFunc.ADD: vec.v_add, AluFunc.SUB: vec.v_sub, AluFunc.MUL: vec.v_mul,
+    AluFunc.DIV: vec.v_div, AluFunc.MAX: vec.v_max, AluFunc.MIN: vec.v_min,
+    AluFunc.RSHIFT: vec.v_rshift, AluFunc.LSHIFT: vec.v_lshift,
+    AluFunc.AND: vec.v_and, AluFunc.OR: vec.v_or,
+}
+
+
+@pytest.mark.parametrize("func", sorted(_VEC, key=int))
+@given(a=int32s, b=int32s)
+def test_scalar_matches_vectorized(func, a, b):
+    """The machine's per-element ALU and the numpy reference must agree
+    bit-for-bit — this is what makes compiled-vs-reference runs exact."""
+    scalar = wrap32(ALU_OPS[func](a, b))
+    vectorized = int(_VEC[func](a, b))
+    assert scalar == vectorized
+
+
+@given(int32s)
+def test_calculus_ops(a):
+    assert CALCULUS_OPS[CalculusFunc.ABS](a) == wrap32(abs(a))
+    assert CALCULUS_OPS[CalculusFunc.SIGN](a) == (a > 0) - (a < 0)
+    assert CALCULUS_OPS[CalculusFunc.NEG](a) == wrap32(-a)
+
+
+@given(int32s, int32s)
+def test_comparisons_return_flags(a, b):
+    assert COMPARISON_OPS[ComparisonFunc.GT](a, b) == int(a > b)
+    assert COMPARISON_OPS[ComparisonFunc.EQ](a, b) == int(a == b)
+    assert COMPARISON_OPS[ComparisonFunc.LE](a, b) == int(a <= b)
+
+
+def test_divide_by_zero_saturates():
+    assert ALU_OPS[AluFunc.DIV](5, 0) == INT32_MAX
+    assert ALU_OPS[AluFunc.DIV](-5, 0) == INT32_MIN
+
+
+def test_division_truncates_toward_zero():
+    assert ALU_OPS[AluFunc.DIV](7, 2) == 3
+    assert ALU_OPS[AluFunc.DIV](-7, 2) == -3
+    assert ALU_OPS[AluFunc.DIV](7, -2) == -3
+
+
+def test_arithmetic_right_shift_is_signed():
+    assert ALU_OPS[AluFunc.RSHIFT](-8, 1) == -4
+    assert ALU_OPS[AluFunc.RSHIFT](-1, 31) == -1
+
+
+def test_shift_amount_wraps_at_32():
+    assert ALU_OPS[AluFunc.LSHIFT](1, 33) == 2  # 5-bit barrel shifter
+
+
+def test_move_ignores_second_operand():
+    assert ALU_OPS[AluFunc.MOVE](42, 999) == 42
+
+
+@given(int32s)
+def test_wrap32_is_idempotent(a):
+    assert wrap32(wrap32(a)) == wrap32(a)
+    assert INT32_MIN <= wrap32(a) <= INT32_MAX
+
+
+def test_cast_value_saturates():
+    assert cast_value(1000, "fxp8") == 127
+    assert cast_value(-1000, "fxp8") == -128
+    assert cast_value(100, "fxp8") == 100
+    assert cast_value(70000, "fxp16") == 32767
+    assert cast_value(9, "fxp4") == 7
+    assert cast_value(123456789, "fxp32") == 123456789

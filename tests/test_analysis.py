@@ -1,0 +1,113 @@
+"""Characterization analyses: census, roofline, overheads, area."""
+
+import pytest
+
+from repro.analysis import (
+    average_overheads,
+    cumulative_usage,
+    model_stats,
+    operator_diversity,
+    overhead_analysis,
+    ridge_point,
+    roofline,
+    tandem_area,
+    utilization_comparison,
+)
+from repro.graph import NON_GEMM_CLASSES
+from repro.models import build_model
+from repro.simulator.params import TandemParams
+
+
+# -- operator census (Figures 1, 2) ---------------------------------------------
+def test_model_stats_counts():
+    stats = model_stats(build_model("vgg16"), 2014)
+    assert stats.gemm_nodes == 16
+    assert stats.nongemm_nodes == len(build_model("vgg16")) - 16
+    assert stats.nongemm_types <= 5  # the "first generation" claim
+    assert 0 < stats.gemm_fraction < 1
+
+
+def test_diversity_is_chronological_and_growing():
+    stats = operator_diversity()
+    years = [s.year for s in stats]
+    assert years == sorted(years)
+    assert stats[-1].nongemm_types >= 2 * stats[0].nongemm_types
+
+
+def test_cumulative_usage_monotone():
+    cumulative = cumulative_usage()
+    totals = [c.cumulative_total for c in cumulative]
+    assert totals == sorted(totals)
+    # "merely 15% of total DNN operator nodes are GEMMs": ours ends <25%.
+    assert cumulative[-1].gemm_fraction < 0.25
+    assert all(cls in cumulative[-1].cumulative_by_class
+               for cls in NON_GEMM_CLASSES)
+
+
+# -- roofline (Figure 5) ------------------------------------------------------------
+def test_roofline_elementwise_memory_bound():
+    points = {p.operator: p for p in roofline()}
+    for op in ("Add", "Mul", "Relu", "Cast", "Transpose"):
+        assert points[op].memory_bound, op
+
+
+def test_roofline_softmax_gelu_compute_bound():
+    points = {p.operator: p for p in roofline()}
+    assert not points["Softmax"].memory_bound
+    assert not points["Gelu"].memory_bound
+
+
+def test_roofline_attainable_never_exceeds_peak():
+    for point in roofline():
+        assert point.attainable_gops <= point.peak_gops + 1e-9
+
+
+def test_ridge_point_scales_with_lanes():
+    from repro.simulator.params import SimParams
+    wide = SimParams(tandem=TandemParams(lanes=64))
+    assert ridge_point(wide) == 2 * ridge_point()
+
+
+# -- Figure 6 overheads --------------------------------------------------------------
+@pytest.fixture(scope="module")
+def overheads():
+    return overhead_analysis(models=["mobilenetv2", "bert"])
+
+
+def test_overheads_positive(overheads):
+    for result in overheads:
+        assert 0 <= result.nongemm_overhead < 1
+        assert 0 <= result.e2e_overhead < 1
+        assert result.e2e_overhead <= result.nongemm_overhead + 1e-9
+
+
+def test_loop_logic_is_largest_overhead(overheads):
+    averages = average_overheads(overheads)
+    assert (averages["loop_logic"]["nongemm"]
+            >= averages["regfile_ldst"]["nongemm"])
+
+
+# -- Figure 8 utilization ---------------------------------------------------------------
+def test_tile_granularity_improves_utilization():
+    comparisons = utilization_comparison(models=["resnet50"])
+    comparison = comparisons[0]
+    assert comparison.gemm_gain > 0
+    assert comparison.tandem_gain > 0
+
+
+# -- Figure 26 area -----------------------------------------------------------------------
+def test_area_matches_paper_at_table3():
+    breakdown = tandem_area()
+    assert breakdown.total_mm2 == pytest.approx(1.02, rel=0.01)
+    fractions = breakdown.fractions()
+    assert fractions["alu"] == pytest.approx(0.566, abs=0.01)
+    assert fractions["interim_buf"] == pytest.approx(0.292, abs=0.01)
+    assert fractions["permute"] == pytest.approx(0.120, abs=0.01)
+
+
+def test_area_scales_with_lanes_and_buffers():
+    wide = tandem_area(TandemParams(lanes=64))
+    assert wide.alu_mm2 == pytest.approx(2 * tandem_area().alu_mm2)
+    big_buf = tandem_area(TandemParams(interim_buf_kb=128))
+    assert big_buf.interim_buf_mm2 == pytest.approx(
+        2 * tandem_area().interim_buf_mm2)

@@ -1,0 +1,84 @@
+"""Analytic model vs detailed machine: the paper's <=5 % validation.
+
+Section 7: "These validations also show the closeness of the number of
+cycles by error margin of <= 5%." Here the analytic estimator (used for
+the full-network sweeps) is validated against the cycle-by-cycle
+interpreter on the same compiled programs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.graph import GraphBuilder
+from repro.models import build_tinynet
+from repro.npu import FunctionalRunner
+from repro.simulator import estimate
+
+
+def _compare_cycles(graph, bindings):
+    model = compile_model(graph)
+    runner = FunctionalRunner(model)
+    runner.bind(bindings)
+    runner.run({k: v for k, v in bindings.items()
+                if k in graph.graph_inputs})
+    total_detailed = 0
+    total_analytic = 0
+    for (name, detailed), cb in zip(runner.block_results,
+                                    [b for b in model.blocks if b.tile]):
+        analytic = estimate(cb.tile.meta, model.sim_params)
+        total_detailed += detailed.cycles
+        total_analytic += analytic.cycles
+        # Nest compute cycles agree exactly (shared timing model).
+        assert analytic.compute_cycles == detailed.compute_cycles
+        # Energy events agree to within rounding.
+        assert analytic.energy.alu_pj == pytest.approx(
+            detailed.energy.alu_pj, rel=1e-9)
+    return total_detailed, total_analytic
+
+
+def _rand_bindings(graph, rng, hi=20):
+    return {name: rng.integers(-hi, hi, spec.shape)
+            for name, spec in graph.tensors.items()
+            if graph.producer(name) is None}
+
+
+def test_tinynet_within_five_percent(rng):
+    graph = build_tinynet()
+    detailed, analytic = _compare_cycles(graph, _rand_bindings(graph, rng, 10))
+    assert detailed > 0
+    assert abs(analytic - detailed) / detailed <= 0.05
+
+
+@pytest.mark.parametrize("op,shape", [
+    ("gelu", (4, 37)),
+    ("softmax", (3, 5, 13)),
+    ("sigmoid", (2, 100)),
+])
+def test_single_ops_within_five_percent(op, shape, rng):
+    b = GraphBuilder("t")
+    x = b.input("x", shape, dtype="int32")
+    y = getattr(b, op)(x)
+    graph = b.finish([y])
+    detailed, analytic = _compare_cycles(graph, {"x": rng.integers(-500, 0, shape)})
+    assert abs(analytic - detailed) / detailed <= 0.05
+
+
+def test_window_op_within_five_percent(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 8, 10, 10), dtype="int32")
+    y = b.maxpool(x, 3, 2, pad=1)
+    graph = b.finish([y])
+    detailed, analytic = _compare_cycles(
+        graph, {"x": rng.integers(-99, 99, (1, 8, 10, 10))})
+    assert abs(analytic - detailed) / detailed <= 0.05
+
+
+def test_instruction_counts_agree(rng):
+    graph = build_tinynet()
+    model = compile_model(graph)
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        analytic = estimate(cb.tile.meta, model.sim_params)
+        assert analytic.instructions_decoded == len(cb.tile.program)

@@ -1,0 +1,53 @@
+"""Public API integrity: every exported name exists and imports cleanly."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.models",
+    "repro.isa",
+    "repro.simulator",
+    "repro.gemm",
+    "repro.compiler",
+    "repro.npu",
+    "repro.baselines",
+    "repro.analysis",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), package
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_package_docstrings(package):
+    module = importlib.import_module(package)
+    assert module.__doc__, f"{package} lacks a docstring"
+
+
+def test_top_level_quickstart_names():
+    import repro
+    for name in ("NPUTandem", "build_model", "compile_model",
+                 "FunctionalRunner", "ReferenceExecutor", "RunResult"):
+        assert name in repro.__all__
+
+
+def test_version():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_entry_points_are_callable():
+    import repro
+    npu = repro.NPUTandem()
+    assert callable(npu.evaluate)
+    assert callable(repro.compile_model)
+    assert callable(repro.build_model)

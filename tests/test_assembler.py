@@ -1,0 +1,84 @@
+"""Textual assembler: parses its own disassembly and hand-written text."""
+
+import pytest
+
+from repro.compiler import compile_model
+from repro.isa import (
+    AluFunc,
+    AssemblyError,
+    Namespace,
+    Opcode,
+    assemble,
+    assembly_roundtrip,
+    parse_line,
+)
+from repro.models import build_tinynet
+
+
+def test_parse_compute_line():
+    inst = parse_line("ALU.ADD IBUF1[it0], IBUF1[it1], IMM[it2]")
+    assert inst.opcode == Opcode.ALU
+    assert inst.func == int(AluFunc.ADD)
+    assert inst.dst.ns == Namespace.IBUF1
+    assert inst.src2.ns == Namespace.IMM
+    assert inst.src2.iter_idx == 2
+
+
+def test_parse_config_line():
+    inst = parse_line("ITERATOR_CONFIG.BASE_ADDR f3=0 f5=7 imm=-42")
+    assert inst.opcode == Opcode.ITERATOR_CONFIG
+    assert inst.field5 == 7
+    assert inst.imm == -42
+
+
+def test_parse_skips_blanks_and_comments():
+    assert parse_line("") is None
+    assert parse_line("   # just a comment") is None
+
+
+def test_parse_strips_disassembler_prefix():
+    inst = parse_line("   12: 30020001  ALU.ADD IBUF1[it2], IBUF1[it0], IBUF1[it1]")
+    assert inst.opcode == Opcode.ALU
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(AssemblyError, match="unknown opcode"):
+        parse_line("FOO.BAR f3=0", line_no=3)
+
+
+def test_unknown_func_rejected():
+    with pytest.raises(AssemblyError, match="unknown func"):
+        parse_line("ALU.FROBNICATE IBUF1[it0], IBUF1[it0]")
+
+
+def test_bad_operand_rejected():
+    with pytest.raises(AssemblyError, match="operand"):
+        parse_line("ALU.ADD IBUF1[0], IBUF1[it1], IBUF1[it2]")
+
+
+def test_bad_field_rejected():
+    with pytest.raises(AssemblyError, match="bad field"):
+        parse_line("LOOP.SET_ITER depth=3")
+
+
+def test_assemble_multiline_program():
+    program = assemble("""
+        # vector add
+        ITERATOR_CONFIG.BASE_ADDR f3=0 f5=0 imm=0
+        ITERATOR_CONFIG.STRIDE    f3=0 f5=0 imm=1
+        LOOP.SET_ITER             f3=0 imm=16
+        LOOP.SET_NUM_INST         imm=1
+        ALU.ADD IBUF1[it0], IBUF1[it0], IBUF1[it0]
+    """)
+    assert len(program) == 5
+    assert program.compute_instruction_count() == 1
+
+
+def test_roundtrip_every_compiled_program():
+    """Every compiled benchmark program survives dis/re-assembly."""
+    model = compile_model(build_tinynet())
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        back = assembly_roundtrip(cb.tile.program)
+        assert back.pack() == cb.tile.program.pack()

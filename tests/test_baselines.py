@@ -1,0 +1,183 @@
+"""Baseline design points: capabilities, costs, orderings."""
+
+import pytest
+
+from repro.baselines import (
+    A100,
+    JETSON_XAVIER_NX,
+    RTX_2080_TI,
+    CpuFallbackDesign,
+    CpuModel,
+    CpuParams,
+    DedicatedUnitsDesign,
+    GemminiDesign,
+    GpuDesign,
+    PcieLink,
+    TpuVpuDesign,
+    VpuFlags,
+    runtime_breakdown,
+)
+from repro.graph import GraphBuilder
+from repro.models import build_model
+
+
+# -- PCIe / CPU component models ------------------------------------------------
+def test_pcie_transfer_time_scales_with_bytes():
+    link = PcieLink()
+    small = link.transfer_seconds(1024)
+    large = link.transfer_seconds(1024 * 1024)
+    assert large > small > link.params.latency_s
+    assert link.transfer_seconds(0) == 0.0
+
+
+def test_cpu_dispatch_floor():
+    cpu = CpuModel()
+    b = GraphBuilder("t")
+    x = b.input("x", (4,), dtype="int32")
+    y = b.relu(x)
+    g = b.finish([y])
+    assert cpu.node_seconds(g, g.nodes[0]) >= cpu.params.dispatch_s
+
+
+def test_cpu_complex_ops_slower_than_simple():
+    cpu = CpuModel()
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 512, 512), dtype="int32")
+    r = b.relu(x)
+    e = b.gelu(x)
+    g = b.finish([r, e])
+    relu_node = next(n for n in g.nodes if n.op_type == "Relu")
+    gelu_node = next(n for n in g.nodes if n.op_type == "Gelu")
+    assert cpu.node_seconds(g, gelu_node) >= cpu.node_seconds(g, relu_node)
+
+
+# -- Baseline 1 / 2 ------------------------------------------------------------------
+def test_baseline1_charges_pcie_for_every_nongemm():
+    result = CpuFallbackDesign().evaluate("resnet50")
+    assert result.comm_seconds > 0
+    assert result.nongemm_seconds > 0
+    assert result.total_seconds == pytest.approx(
+        result.gemm_seconds + result.nongemm_seconds + result.comm_seconds)
+
+
+def test_baseline2_faster_than_baseline1_on_cnn():
+    b1 = CpuFallbackDesign().evaluate("resnet50")
+    b2 = DedicatedUnitsDesign().evaluate("resnet50")
+    assert b2.total_seconds < b1.total_seconds
+    assert b2.comm_seconds < b1.comm_seconds
+
+
+def test_dedicated_units_cover_paper_set():
+    design = DedicatedUnitsDesign()
+    graph = build_model("resnet50")
+    covered = set()
+    for node in graph.nodes:
+        if not node.is_gemm and design.on_chip_nongemm(node, graph):
+            covered.add(node.op_type)
+    assert {"Relu", "Add", "MaxPool", "Cast"} <= covered
+
+
+def test_dedicated_units_do_not_cover_complex_math():
+    design = DedicatedUnitsDesign()
+    graph = build_model("bert")
+    for node in graph.nodes:
+        if node.op_type in ("Softmax", "Gelu", "ReduceMean"):
+            assert not design.on_chip_nongemm(node, graph)
+
+
+def test_scale_by_scalar_is_dedicated_but_tensor_mul_is_not():
+    design = DedicatedUnitsDesign()
+    b = GraphBuilder("t")
+    x = b.input("x", (8, 8), dtype="int32")
+    scaled = b.mul_scalar(x, 3.0)
+    y = b.input("y", (8, 8), dtype="int32")
+    full = b.mul(x, y)
+    g = b.finish([scaled, full])
+    scalar_node = g.producer(scaled)
+    tensor_node = g.producer(full)
+    assert design.on_chip_nongemm(scalar_node, g)
+    assert not design.on_chip_nongemm(tensor_node, g)
+
+
+# -- Gemmini ------------------------------------------------------------------------
+def test_gemmini_multicore_scales_riscv_only():
+    one = GemminiDesign(1).evaluate("bert")
+    many = GemminiDesign(32).evaluate("bert")
+    assert many.total_seconds < one.total_seconds
+    # GEMM time identical; only the core time shrinks.
+    assert many.gemm_seconds == pytest.approx(one.gemm_seconds)
+
+
+def test_gemmini_im2col_dominates_mobilenet():
+    fractions = runtime_breakdown(GemminiDesign(1), "mobilenetv2")
+    assert fractions["im2col_dedicated"] > 0.5
+    assert sum(fractions.values()) == pytest.approx(1.0, abs=1e-6)
+
+
+def test_gemmini_riscv_dominates_language_models():
+    for model in ("bert", "gpt2", "yolov3"):
+        fractions = runtime_breakdown(GemminiDesign(1), model)
+        assert fractions["riscv"] > 0.5, model
+
+
+def test_gemmini_vgg_close_to_gemm_bound():
+    fractions = runtime_breakdown(GemminiDesign(1), "vgg16")
+    assert fractions["gemm"] > 0.5
+
+
+# -- TPU + VPU ------------------------------------------------------------------------
+def test_vpu_flags_label():
+    assert VpuFlags().label() == "rf+loops+fifo+sf"
+    assert VpuFlags(False, False, False, False).label() == "tandem"
+
+
+def test_vpu_ladder_monotone_speedup():
+    ladder = TpuVpuDesign().ablation_ladder("mobilenetv2")
+    order = ["vpu", "no_regfile", "no_regfile_loops", "no_regfile_loops_fifo"]
+    times = [ladder[k].total_seconds for k in order]
+    assert times == sorted(times, reverse=True), times
+
+
+def test_vpu_special_functions_help_vpu():
+    """Removing special functions (last ladder step) slows things down on
+    math-heavy models — the paper's 0.8x factor."""
+    ladder = TpuVpuDesign().ablation_ladder("bert")
+    assert (ladder["tandem"].total_seconds
+            > ladder["no_regfile_loops_fifo"].total_seconds)
+
+
+def test_vpu_slower_than_tandem_end_to_end():
+    for model in ("mobilenetv2", "bert"):
+        ladder = TpuVpuDesign().ablation_ladder(model)
+        assert ladder["vpu"].total_seconds > ladder["tandem"].total_seconds
+
+
+# -- GPUs -------------------------------------------------------------------------------
+def test_gpu_mode_validation():
+    with pytest.raises(ValueError, match="unknown GPU execution mode"):
+        GpuDesign(A100, "vulkan")
+
+
+def test_tensorrt_faster_than_cuda():
+    for params in (A100, RTX_2080_TI):
+        trt = GpuDesign(params, "tensorrt").evaluate("bert")
+        cuda = GpuDesign(params, "cuda").evaluate("bert")
+        assert trt.total_seconds < cuda.total_seconds
+
+
+def test_a100_faster_than_jetson():
+    a100 = GpuDesign(A100).evaluate("resnet50")
+    jetson = GpuDesign(JETSON_XAVIER_NX).evaluate("resnet50")
+    assert a100.total_seconds < jetson.total_seconds
+
+
+def test_gpu_energy_positive_and_power_bounded():
+    result = GpuDesign(JETSON_XAVIER_NX).evaluate("mobilenetv2")
+    assert 0 < result.average_power_watts <= JETSON_XAVIER_NX.tdp_watts
+
+
+def test_tensorrt_fusion_absorbs_elementwise():
+    trt = GpuDesign(A100, "tensorrt").evaluate("resnet50")
+    cuda = GpuDesign(A100, "cuda").evaluate("resnet50")
+    assert "Relu" not in trt.per_op_seconds
+    assert "Relu" in cuda.per_op_seconds

@@ -1,0 +1,146 @@
+"""GraphBuilder shape inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import GraphBuilder, conv_out_hw
+
+
+@pytest.fixture
+def b():
+    builder = GraphBuilder("t")
+    return builder
+
+
+def test_conv_shape_same_padding(b):
+    x = b.input("x", (1, 3, 16, 16))
+    y = b.conv(x, 8, 3)
+    assert b.spec(y).shape == (1, 8, 16, 16)
+    assert b.spec(y).dtype == "int32"
+
+
+def test_conv_stride_two(b):
+    x = b.input("x", (1, 3, 16, 16))
+    y = b.conv(x, 8, 3, stride=2)
+    assert b.spec(y).shape == (1, 8, 8, 8)
+
+
+def test_conv_inserts_cast_for_int32_input(b):
+    x = b.input("x", (1, 3, 8, 8), dtype="int32")
+    b.conv(x, 4, 1, pad=0)
+    assert any(n.op_type == "Cast" for n in b.graph.nodes)
+
+
+def test_conv_no_cast_for_int8_input(b):
+    x = b.input("x", (1, 3, 8, 8), dtype="int8")
+    b.conv(x, 4, 1, pad=0)
+    assert not any(n.op_type == "Cast" for n in b.graph.nodes)
+
+
+def test_depthwise_preserves_channels(b):
+    x = b.input("x", (1, 32, 14, 14), dtype="int32")
+    y = b.depthwise_conv(x, 3, stride=2)
+    assert b.spec(y).shape == (1, 32, 7, 7)
+    node = b.graph.nodes[-1]
+    assert node.op_type == "DepthwiseConv"
+    assert node.attrs["groups"] == 32
+
+
+def test_gemm_shape(b):
+    x = b.input("x", (1, 128))
+    y = b.gemm(x, 10)
+    assert b.spec(y).shape == (1, 10)
+
+
+def test_matmul_batched(b):
+    q = b.input("q", (1, 12, 64, 32))
+    k = b.input("k", (1, 12, 32, 64))
+    s = b.matmul(q, k)
+    assert b.spec(s).shape == (1, 12, 64, 64)
+
+
+def test_matmul_shape_mismatch_rejected(b):
+    q = b.input("q", (1, 4, 8))
+    k = b.input("k", (1, 7, 4))
+    with pytest.raises(ValueError, match="mismatch"):
+        b.matmul(q, k)
+
+
+def test_add_broadcasts(b):
+    x = b.input("x", (1, 4, 8, 8), dtype="int32")
+    y = b.input("y", (1, 4, 1, 1), dtype="int32")
+    z = b.add(x, y)
+    assert b.spec(z).shape == (1, 4, 8, 8)
+
+
+def test_maxpool_with_padding(b):
+    x = b.input("x", (1, 4, 8, 8), dtype="int32")
+    y = b.maxpool(x, 3, 2, pad=1)
+    assert b.spec(y).shape == (1, 4, 4, 4)
+
+
+def test_global_avgpool(b):
+    x = b.input("x", (1, 16, 7, 7), dtype="int32")
+    y = b.global_avgpool(x)
+    assert b.spec(y).shape == (1, 16, 1, 1)
+
+
+def test_reduce_mean_keepdims(b):
+    x = b.input("x", (1, 8, 64), dtype="int32")
+    y = b.reduce_mean(x, axis=-1)
+    assert b.spec(y).shape == (1, 8, 1)
+
+
+def test_softmax_keeps_shape(b):
+    x = b.input("x", (2, 5, 7), dtype="int32")
+    y = b.softmax(x)
+    assert b.spec(y).shape == (2, 5, 7)
+
+
+def test_transpose(b):
+    x = b.input("x", (1, 2, 3, 4), dtype="int32")
+    y = b.transpose(x, (0, 3, 1, 2))
+    assert b.spec(y).shape == (1, 4, 2, 3)
+
+
+def test_reshape_rejects_bad_numel(b):
+    x = b.input("x", (2, 6), dtype="int32")
+    with pytest.raises(ValueError, match="element count"):
+        b.reshape(x, (5, 3))
+
+
+def test_flatten(b):
+    x = b.input("x", (1, 4, 3, 3), dtype="int32")
+    y = b.flatten(x)
+    assert b.spec(y).shape == (1, 36)
+
+
+def test_concat_axis1(b):
+    x = b.input("x", (1, 3, 4, 4), dtype="int32")
+    y = b.input("y", (1, 5, 4, 4), dtype="int32")
+    z = b.concat([x, y], axis=1)
+    assert b.spec(z).shape == (1, 8, 4, 4)
+
+
+def test_resize_doubles_spatial(b):
+    x = b.input("x", (1, 2, 5, 5), dtype="int32")
+    y = b.resize(x, 2)
+    assert b.spec(y).shape == (1, 2, 10, 10)
+
+
+def test_cast_changes_dtype_only(b):
+    x = b.input("x", (3, 3), dtype="int32")
+    y = b.cast(x, "int8")
+    assert b.spec(y).dtype == "int8"
+    assert b.spec(y).shape == (3, 3)
+
+
+@given(h=st.integers(4, 64), k=st.sampled_from([1, 3, 5, 7]),
+       s=st.sampled_from([1, 2]))
+def test_conv_out_hw_matches_numpy_convention(h, k, s):
+    pad = k // 2
+    oh, _ = conv_out_hw(h, h, (k, k), s, pad)
+    assert oh == (h + 2 * pad - k) // s + 1
+    assert oh >= 1

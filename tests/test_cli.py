@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_models_lists_benchmarks(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "bert" in out
+    assert "tinynet" in out
+
+
+def test_evaluate_default_design(capsys):
+    assert main(["evaluate", "tinynet"]) == 0
+    out = capsys.readouterr().out
+    assert "npu-tandem" in out
+    assert "latency (ms)" in out
+
+
+def test_evaluate_named_design_with_per_op(capsys):
+    assert main(["evaluate", "tinynet", "--design", "gemmini",
+                 "--per-op"]) == 0
+    out = capsys.readouterr().out
+    assert "gemmini" in out
+    assert "operator" in out
+
+
+def test_compare_lists_every_design(capsys):
+    assert main(["compare", "tinynet"]) == 0
+    out = capsys.readouterr().out
+    for design in ("npu-tandem", "gemm+offchip-cpu", "gemm+dedicated-units",
+                   "tpu+vpu", "jetson-xavier-nx-tensorrt"):
+        assert design in out
+
+
+def test_compile_disassemble_and_dump(capsys, tmp_path):
+    dump = tmp_path / "model.json"
+    assert main(["compile", "tinynet", "--disassemble", "1",
+                 "--dump", str(dump)]) == 0
+    out = capsys.readouterr().out
+    assert "SYNC.SIMD_START_EXEC" in out
+    data = json.loads(dump.read_text())
+    assert data["model"] == "tinynet"
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "fig26"]) == 0
+    out = capsys.readouterr().out
+    assert "area" in out.lower()
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "tinynet"]) == 0
+    out = capsys.readouterr().out
+    assert "gemm" in out
+    assert "#" in out
+
+
+def test_parser_rejects_unknown_design():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["evaluate", "bert", "--design", "tpu-v5"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_markdown_writer(tmp_path):
+    from repro.harness.markdown import write_experiments_body
+    path = tmp_path / "body.md"
+    write_experiments_body(str(path), ids=["fig26", "table3"])
+    text = path.read_text()
+    assert "## fig26" in text
+    assert "## table3" in text
+    with pytest.raises(KeyError):
+        write_experiments_body(str(path), ids=["fig99"])

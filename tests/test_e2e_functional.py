@@ -1,0 +1,122 @@
+"""End-to-end functional validation on small networks (Section 7 flow)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ReferenceExecutor, compile_model
+from repro.graph import GraphBuilder
+from repro.models import build_tinynet
+from repro.npu import FunctionalRunner
+
+
+def _bindings(graph, rng, weight_hi=4, act_hi=20, bias_hi=50):
+    out = {}
+    for name, spec in graph.tensors.items():
+        if graph.producer(name) is None:
+            if name.startswith("w_"):
+                hi = weight_hi
+            elif name.startswith("b_"):
+                hi = bias_hi
+            else:
+                hi = act_hi
+            out[name] = rng.integers(-hi, hi, spec.shape)
+    return out
+
+
+def _check(graph, bindings):
+    model = compile_model(graph)
+    runner = FunctionalRunner(model)
+    runner.bind(bindings)
+    outputs = runner.run({k: v for k, v in bindings.items()
+                          if k in graph.graph_inputs})
+    reference = ReferenceExecutor(graph).run(bindings)
+    for name in graph.graph_outputs:
+        np.testing.assert_array_equal(outputs[name], reference[name])
+    return model, runner
+
+
+def test_tinynet_end_to_end(rng):
+    graph = build_tinynet()
+    model, runner = _check(graph, _bindings(graph, rng))
+    kinds = [cb.kind for cb in model.blocks]
+    assert "gemm_tandem" in kinds
+    merged = runner.total_machine_result()
+    assert merged.cycles > 0
+    assert merged.instructions_decoded == sum(
+        len(cb.tile.program) for cb in model.blocks if cb.tile)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_tinynet_multiple_seeds(seed):
+    rng = np.random.default_rng(seed)
+    graph = build_tinynet()
+    _check(graph, _bindings(graph, rng))
+
+
+def test_mini_mobilenet_block(rng):
+    """expand conv -> clip -> depthwise -> clip -> project -> resadd."""
+    b = GraphBuilder("mini-mbv2")
+    x = b.input("x", (1, 4, 8, 8), dtype="int8")
+    skip = b.conv(x, 4, 1, pad=0)
+    y = b.clip(b.conv(x, 8, 1, pad=0), 0, 6)
+    y = b.clip(b.depthwise_conv(y, 3), 0, 6)
+    y = b.conv(y, 4, 1, pad=0)
+    out = b.add(y, skip)
+    graph = b.finish([out])
+    _check(graph, _bindings(graph, rng, act_hi=8, weight_hi=3))
+
+
+def test_mini_attention(rng):
+    """Scores matmul -> scale -> softmax -> context matmul."""
+    b = GraphBuilder("mini-attn")
+    q = b.input("q", (1, 2, 6, 4), dtype="int8")
+    k = b.input("k", (1, 2, 4, 6), dtype="int8")
+    v = b.input("v", (1, 2, 6, 4), dtype="int8")
+    scores = b.matmul(q, k)
+    probs = b.softmax(scores, axis=-1)
+    ctx = b.matmul(probs, v)
+    graph = b.finish([ctx])
+    _check(graph, _bindings(graph, rng, act_hi=6))
+
+
+def test_mini_layernorm_chain(rng):
+    """The decomposed LayerNorm pattern of the transformer models."""
+    b = GraphBuilder("mini-ln")
+    x = b.input("x", (1, 6, 16), dtype="int32")
+    mean = b.reduce_mean(x, axis=-1)
+    centered = b.sub(x, mean)
+    two = b.param("c_two", (1,), "int32")
+    sq = b.emit("Pow", [centered], (1, 6, 16), "int32",
+                {"exponent": 2.0}, [two])
+    var = b.reduce_mean(sq, axis=-1)
+    std = b.sqrt(var)
+    out = b.div(centered, std)
+    graph = b.finish([out])
+    bindings = _bindings(graph, rng, act_hi=200)
+    bindings["c_two"] = np.array([2])
+    _check(graph, bindings)
+
+
+def test_functional_runner_rejects_tiled_models(rng):
+    """Functional execution needs single-tile compilations."""
+    b = GraphBuilder("big")
+    # Big enough to force tiling of the fused block.
+    x = b.input("x", (1, 64, 64, 64), dtype="int8")
+    y = b.relu(b.conv(x, 64, 3))
+    graph = b.finish([y])
+    model = compile_model(graph)
+    assert any(cb.tiles > 1 for cb in model.blocks)
+    with pytest.raises(ValueError, match="single-tile"):
+        FunctionalRunner(model)
+
+
+def test_dram_traffic_matches_casts(rng):
+    """Block outputs cast to int8 are stored narrow (1 byte/element)."""
+    graph = build_tinynet()
+    model, runner = _check(graph, _bindings(graph, rng))
+    st_bytes = {
+        (slot.tensor, slot.element_bytes)
+        for cb in model.blocks if cb.tile
+        for slot in cb.tile.transfers if slot.direction == "st"
+    }
+    assert any(nbytes == 1 for _t, nbytes in st_bytes)

@@ -1,0 +1,119 @@
+"""Fast (instruction-major) execution == scalar (point-major) execution.
+
+The fast path may only be used where the hazard checker proves
+independence, so outputs must be bit-identical for every operator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.graph import GraphBuilder
+from repro.models import build_tinynet
+from repro.npu import FunctionalRunner
+
+
+def _outputs(graph, bindings, fast):
+    model = compile_model(graph)
+    runner = FunctionalRunner(model, fast=fast)
+    runner.bind(bindings)
+    outs = runner.run({k: v for k, v in bindings.items()
+                       if k in graph.graph_inputs})
+    return {name: outs[name] for name in graph.graph_outputs}
+
+
+def _assert_modes_agree(graph, bindings):
+    slow = _outputs(graph, bindings, fast=False)
+    fast = _outputs(graph, bindings, fast=True)
+    for name in slow:
+        np.testing.assert_array_equal(fast[name], slow[name],
+                                      err_msg=name)
+
+
+OPS = [
+    ("relu", (-300, 300), {}),
+    ("gelu", (-800, 800), {}),
+    ("sigmoid", (-700, 700), {}),
+    ("softmax", (-500, 500), {}),
+    ("tanh", (-500, 500), {}),
+    ("leaky_relu", (-400, 400), {"alpha": 0.1}),
+    ("clip", (-900, 900), {}),
+]
+
+
+@pytest.mark.parametrize("op,bounds,attrs", OPS, ids=[o[0] for o in OPS])
+def test_unary_ops_agree(op, bounds, attrs, rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (5, 23), dtype="int32")
+    y = getattr(b, op)(x, **attrs)
+    graph = b.finish([y])
+    _assert_modes_agree(graph, {"x": rng.integers(*bounds, (5, 23))})
+
+
+def test_reductions_agree(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 6, 9, 9), dtype="int32")
+    pooled = b.maxpool(x, 3, 2, pad=1)
+    gap = b.global_avgpool(x)
+    graph = b.finish([pooled, gap])
+    _assert_modes_agree(graph, {"x": rng.integers(-200, 200, (1, 6, 9, 9))})
+
+
+def test_depthwise_agrees(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 4, 10, 10), dtype="int32")
+    y = b.depthwise_conv(x, 3, stride=2)
+    graph = b.finish([y])
+    weight = next(t for t in graph.tensors if t.startswith("w_dw"))
+    _assert_modes_agree(graph, {
+        "x": rng.integers(-30, 30, (1, 4, 10, 10)),
+        weight: rng.integers(-5, 5, (4, 1, 3, 3)),
+    })
+
+
+def test_tinynet_agrees_end_to_end(rng):
+    graph = build_tinynet()
+    bindings = {name: rng.integers(-8, 8, spec.shape)
+                for name, spec in graph.tensors.items()
+                if graph.producer(name) is None}
+    _assert_modes_agree(graph, bindings)
+
+
+def test_cast_saturation_agrees(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (4, 16), dtype="int32")
+    y = b.cast(x, "int8")
+    graph = b.finish([y])
+    _assert_modes_agree(graph, {"x": rng.integers(-5000, 5000, (4, 16))})
+
+
+def test_where_agrees(rng):
+    b = GraphBuilder("t")
+    a = b.input("a", (3, 11), dtype="int32")
+    c = b.input("c", (3, 11), dtype="int32")
+    flag = b.emit("Greater", [a, c], (3, 11), "int32")
+    out = b.emit("Where", [flag, a, c], (3, 11), "int32")
+    graph = b.finish([out])
+    _assert_modes_agree(graph, {
+        "a": rng.integers(-50, 50, (3, 11)),
+        "c": rng.integers(-50, 50, (3, 11)),
+    })
+
+
+def test_fast_mode_actually_faster_on_large_nests(rng):
+    import time
+    b = GraphBuilder("t")
+    x = b.input("x", (32, 128), dtype="int32")
+    y = b.gelu(x)
+    graph = b.finish([y])
+    data = rng.integers(-500, 500, (32, 128))
+
+    def run(fast):
+        runner = FunctionalRunner(compile_model(graph), fast=fast)
+        start = time.perf_counter()
+        runner.run({"x": data})
+        return time.perf_counter() - start
+
+    slow_t = run(False)
+    fast_t = run(True)
+    assert fast_t < slow_t

@@ -1,0 +1,116 @@
+"""Systolic-array GEMM unit: functional semantics + cost model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gemm import BufferBudget, SystolicArray, SystolicParams, budget_from_params, gemm_dims
+from repro.graph import GraphBuilder
+
+
+def test_matmul_functional(rng):
+    a = rng.integers(-128, 127, (5, 7))
+    b = rng.integers(-128, 127, (7, 3))
+    out = SystolicArray.matmul(a, b)
+    assert np.array_equal(out, a @ b)
+
+
+def test_conv2d_matches_naive(rng):
+    x = rng.integers(-8, 8, (1, 3, 7, 7))
+    w = rng.integers(-4, 4, (5, 3, 3, 3))
+    out = SystolicArray.conv2d(x, w, stride=2, pad=1)
+    # Naive reference.
+    xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    oh = ow = (7 + 2 - 3) // 2 + 1
+    ref = np.zeros((1, 5, oh, ow), dtype=np.int64)
+    for oc in range(5):
+        for i in range(oh):
+            for j in range(ow):
+                patch = xp[0, :, 2 * i:2 * i + 3, 2 * j:2 * j + 3]
+                ref[0, oc, i, j] = int((patch * w[oc]).sum())
+    assert np.array_equal(out, ref)
+
+
+def test_conv2d_channel_mismatch_rejected():
+    with pytest.raises(ValueError, match="channel mismatch"):
+        SystolicArray.conv2d(np.zeros((1, 3, 4, 4)), np.zeros((2, 4, 1, 1)))
+
+
+def test_matmul_cycles_exact_tiling():
+    array = SystolicArray(SystolicParams(rows=32, cols=32))
+    # One output tile: K accumulation + fill/drain.
+    assert array.matmul_cycles(32, 32, 100) == 100 + 64
+    # 2x3 tiles.
+    assert array.matmul_cycles(64, 96, 10) == 6 * (10 + 64)
+
+
+def test_layer_cost_compute_vs_memory_bound():
+    array = SystolicArray()
+    # Huge K: compute bound.
+    big = array.layer_cost(1024, 1024, 4096, 10, 10, 10)
+    assert big.cycles == big.compute_cycles
+    # Huge weights, tiny compute: memory bound.
+    fat = array.layer_cost(1, 32, 32, 10, 100_000_000, 10)
+    assert fat.cycles == fat.dram_cycles
+
+
+def test_utilization_bounds():
+    array = SystolicArray()
+    cost = array.layer_cost(320, 320, 320, 1000, 1000, 1000)
+    util = cost.utilization(array.params)
+    assert 0 < util <= 1
+
+
+def test_scaled_params_match_tops():
+    base = SystolicParams()
+    scaled = base.scaled(216)
+    ratio = scaled.peak_ops_per_s / base.peak_ops_per_s
+    # sqrt rounding: 216 -> 15^2 = 225.
+    assert ratio == pytest.approx(225, rel=0.01)
+    assert scaled.dram_bandwidth_bytes_per_s > base.dram_bandwidth_bytes_per_s
+
+
+def test_gemm_dims_for_conv():
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 16, 8, 8))
+    y = b.conv(x, 32, 3)
+    g = b.finish([y])
+    node = next(n for n in g.nodes if n.op_type == "Conv")
+    m, n, k = gemm_dims(node, g.out_spec(node), g.tensor(node.inputs[0]))
+    assert (m, n, k) == (64, 32, 9 * 16)
+
+
+def test_gemm_dims_for_matmul():
+    b = GraphBuilder("t")
+    a = b.input("a", (1, 4, 16, 32))
+    c = b.input("c", (1, 4, 32, 8))
+    y = b.matmul(a, c)
+    g = b.finish([y])
+    node = next(n for n in g.nodes if n.op_type == "MatMul")
+    m, n, k = gemm_dims(node, g.out_spec(node), g.tensor(node.inputs[0]))
+    assert (m, n, k) == (64, 8, 32)
+
+
+def test_gemm_dims_rejects_non_gemm():
+    b = GraphBuilder("t")
+    x = b.input("x", (4, 4), dtype="int32")
+    y = b.relu(x)
+    g = b.finish([y])
+    with pytest.raises(ValueError):
+        gemm_dims(g.nodes[0], g.out_spec(g.nodes[0]), g.tensor("x"))
+
+
+def test_buffer_budget_double_buffers_obuf():
+    budget = budget_from_params(SystolicParams())
+    assert budget.output_buf_bytes == 128 * 1024
+    assert budget.fits_outputs(64 * 1024)
+    assert not budget.fits_outputs(64 * 1024 + 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 100), st.integers(1, 100), st.integers(1, 200))
+def test_cycles_monotone_in_problem_size(m, n, k):
+    array = SystolicArray()
+    assert array.matmul_cycles(m, n, k) <= array.matmul_cycles(m + 32, n, k)
+    assert array.matmul_cycles(m, n, k) <= array.matmul_cycles(m, n, k + 1)

@@ -1,0 +1,62 @@
+"""Experiment registry and report rendering."""
+
+import pytest
+
+from repro.harness import (
+    EXPERIMENTS,
+    PAPER,
+    all_experiment_ids,
+    paper_vs_measured,
+    render_table,
+    run_experiment,
+)
+
+#: Every evaluation table/figure of the paper must have an experiment.
+_REQUIRED = {
+    "table1", "table2", "table3",
+    "fig01", "fig02", "fig03", "fig05", "fig06", "fig08",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+    "fig21", "fig22", "fig23", "fig24", "fig25", "fig26",
+}
+
+
+def test_registry_covers_every_table_and_figure():
+    assert _REQUIRED <= set(all_experiment_ids())
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+def test_cheap_experiments_render():
+    for exp_id in ("table3", "fig01", "fig02", "fig05", "fig26"):
+        experiment = run_experiment(exp_id)
+        text = experiment.render()
+        assert exp_id in text
+        assert "paper" in text
+        assert experiment.summary
+
+
+def test_paper_data_keys_match_registry():
+    for exp_id in PAPER:
+        assert exp_id in EXPERIMENTS, exp_id
+
+
+def test_render_table_alignment():
+    text = render_table(("name", "value"), [("a", 1.5), ("bb", 123456.0)],
+                        title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "name" in lines[1]
+    assert len(lines) == 5
+
+
+def test_paper_vs_measured_ratio_column():
+    text = paper_vs_measured({"metric": (2.0, 3.0)})
+    assert "1.50" in text
+
+
+def test_paper_vs_measured_handles_non_numeric():
+    text = paper_vs_measured({"who_wins": ("mobilenetv2", "mobilenetv2")})
+    assert "mobilenetv2" in text

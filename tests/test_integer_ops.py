@@ -1,0 +1,200 @@
+"""Integer recipes: accuracy vs float, exactness of numpy semantics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.integer_ops import (
+    FRAC_BITS,
+    ceil_recipe,
+    clip_recipe,
+    exp_recipe,
+    floor_recipe,
+    from_fixed,
+    gelu_recipe,
+    i_erf,
+    i_exp,
+    i_gelu,
+    i_reciprocal,
+    i_sigmoid,
+    i_sqrt,
+    i_tanh,
+    leaky_relu_recipe,
+    run_recipe,
+    square_recipe,
+    to_fixed,
+    v_add,
+    v_div,
+    v_lshift,
+    v_mul,
+    v_rshift,
+    w32,
+)
+
+int32s = st.integers(-(1 << 31), (1 << 31) - 1)
+
+
+# -- accuracy of the I-BERT-style approximations -----------------------------
+def test_exp_accuracy_q8():
+    xs = np.linspace(-8.0, 0.0, 500)
+    got = from_fixed(i_exp(to_fixed(xs)))
+    assert np.max(np.abs(got - np.exp(xs))) < 0.02
+
+
+def test_exp_saturates_for_very_negative():
+    assert i_exp(to_fixed(-1000.0)) == 0
+
+
+def test_exp_of_zero_is_one():
+    assert abs(from_fixed(i_exp(to_fixed(0.0))) - 1.0) < 0.01
+
+
+def test_erf_accuracy():
+    # I-BERT's erf polynomial has a known ~0.1 step at x -> 0 (harmless
+    # inside GeLU, where it is multiplied by x); away from zero it is a
+    # few-percent approximation.
+    xs = np.linspace(-3.0, 3.0, 300)
+    ref = np.vectorize(math.erf)(xs)
+    got = from_fixed(i_erf(to_fixed(xs)))
+    assert np.max(np.abs(got - ref)) < 0.11
+    far = np.abs(xs) > 0.75
+    assert np.max(np.abs(got[far] - ref[far])) < 0.04
+
+
+def test_erf_is_odd_function():
+    xs = to_fixed(np.linspace(0.1, 3.0, 50))
+    assert np.array_equal(i_erf(xs), -i_erf(-xs))
+
+
+def test_gelu_accuracy():
+    xs = np.linspace(-4.0, 4.0, 400)
+    ref = xs * 0.5 * (1 + np.vectorize(math.erf)(xs / math.sqrt(2)))
+    got = from_fixed(i_gelu(to_fixed(xs)))
+    assert np.max(np.abs(got - ref)) < 0.05
+
+
+def test_sigmoid_accuracy_and_range():
+    xs = np.linspace(-6.0, 6.0, 400)
+    got = from_fixed(i_sigmoid(to_fixed(xs)))
+    ref = 1.0 / (1.0 + np.exp(-xs))
+    assert np.max(np.abs(got - ref)) < 0.02
+    assert got.min() >= 0.0
+    assert got.max() <= 1.0 + 1.0 / (1 << FRAC_BITS)
+
+
+def test_sigmoid_midpoint():
+    assert abs(from_fixed(i_sigmoid(to_fixed(0.0))) - 0.5) < 0.01
+
+
+def test_tanh_accuracy():
+    xs = np.linspace(-4.0, 4.0, 300)
+    got = from_fixed(i_tanh(to_fixed(xs)))
+    assert np.max(np.abs(got - np.tanh(xs))) < 0.04
+
+
+def test_sqrt_relative_error():
+    xs = np.linspace(0.05, 2000.0, 500)
+    got = from_fixed(i_sqrt(to_fixed(xs)))
+    rel = np.abs(got - np.sqrt(xs)) / np.sqrt(xs)
+    assert np.max(rel) < 0.06
+
+
+def test_sqrt_of_zero():
+    assert i_sqrt(np.array([0])) >= 0
+
+
+def test_reciprocal_accuracy():
+    xs = np.linspace(0.5, 100.0, 200)
+    # In Q8 the result is only as fine as the output quantization step.
+    got = from_fixed(i_reciprocal(to_fixed(xs)))
+    assert np.max(np.abs(got - 1 / xs)) <= 2 / (1 << FRAC_BITS)
+    # With more fractional bits the relative error tightens.
+    got14 = from_fixed(i_reciprocal(to_fixed(xs, 14), 14), 14)
+    assert np.max(np.abs(got14 - 1 / xs) * xs) < 0.01
+
+
+def test_higher_precision_improves_accuracy():
+    xs = np.linspace(-4.0, 0.0, 200)
+    err8 = np.max(np.abs(from_fixed(i_exp(to_fixed(xs, 8), 8), 8) - np.exp(xs)))
+    err14 = np.max(np.abs(from_fixed(i_exp(to_fixed(xs, 14), 14), 14)
+                          - np.exp(xs)))
+    assert err14 < err8
+
+
+# -- recipe structural properties ------------------------------------------------
+def test_gelu_matches_paper_primitive_budget():
+    # "five multiplications, three additions, a sign, an absolute, and a
+    # minimum" — our explicit-shift lowering stays in the same ballpark.
+    steps = gelu_recipe()
+    muls = sum(1 for s in steps if s.func == "mul")
+    adds = sum(1 for s in steps if s.func == "add")
+    assert muls == 5
+    assert adds == 3
+    assert sum(1 for s in steps if s.func == "sign") == 1
+    assert sum(1 for s in steps if s.func == "abs") == 1
+    assert sum(1 for s in steps if s.func == "min") == 1
+
+
+def test_recipes_end_with_out():
+    for recipe in (exp_recipe(), gelu_recipe(), floor_recipe(),
+                   ceil_recipe(), clip_recipe(-5, 5), square_recipe(),
+                   leaky_relu_recipe(0.1)):
+        assert recipe[-1].out == "out"
+
+
+def test_leaky_relu_recipe_semantics():
+    xs = to_fixed(np.array([-2.0, -0.5, 0.0, 1.0, 3.0]))
+    got = from_fixed(run_recipe(leaky_relu_recipe(0.1), xs))
+    ref = np.where(from_fixed(xs) > 0, from_fixed(xs), 0.1 * from_fixed(xs))
+    assert np.max(np.abs(got - ref)) < 0.02
+
+
+def test_clip_recipe_semantics():
+    xs = np.array([-100, -3, 0, 3, 100])
+    got = run_recipe(clip_recipe(-5, 5), xs)
+    assert np.array_equal(got, np.clip(xs, -5, 5))
+
+
+def test_floor_ceil_recipes():
+    xs = to_fixed(np.array([-1.5, -0.25, 0.0, 0.75, 2.5]))
+    floor = from_fixed(run_recipe(floor_recipe(), xs))
+    ceil = from_fixed(run_recipe(ceil_recipe(), xs))
+    assert np.array_equal(floor, np.floor(from_fixed(xs)))
+    assert np.array_equal(ceil, np.ceil(from_fixed(xs)))
+
+
+def test_square_recipe():
+    xs = to_fixed(np.array([-3.0, 0.5, 2.0]))
+    got = from_fixed(run_recipe(square_recipe(), xs))
+    assert np.allclose(got, from_fixed(xs) ** 2, atol=0.05)
+
+
+# -- vectorized primitive semantics (must mirror the scalar ALU) -----------------
+@given(int32s, int32s)
+def test_v_add_wraps_like_int32(a, b):
+    got = int(v_add(a, b))
+    assert -(1 << 31) <= got < (1 << 31)
+    assert got == ((a + b + (1 << 31)) % (1 << 32)) - (1 << 31)
+
+
+@given(int32s, int32s)
+def test_v_div_truncates_toward_zero(a, b):
+    if b == 0:
+        expected = (1 << 31) - 1 if a >= 0 else -(1 << 31)
+    else:
+        expected = w32(int(abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)))
+    assert int(v_div(a, b)) == int(expected)
+
+
+@given(int32s, st.integers(0, 31))
+def test_v_shifts(a, n):
+    assert int(v_rshift(a, n)) == a >> n
+    assert int(v_lshift(a, n)) == int(w32(a << n))
+
+
+@given(int32s, int32s)
+def test_v_mul_matches_wrapped_product(a, b):
+    assert int(v_mul(a, b)) == int(w32(a * b))

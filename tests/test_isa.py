@@ -1,0 +1,196 @@
+"""ISA: 32-bit encodings, round-trips, field limits (Figure 12)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import (
+    AluFunc,
+    CalculusFunc,
+    ComparisonFunc,
+    EncodingError,
+    Instruction,
+    IteratorConfigFunc,
+    LdStFunc,
+    LoopFunc,
+    Namespace,
+    Opcode,
+    Operand,
+    PermuteFunc,
+    SyncFunc,
+    TandemProgram,
+    alu,
+    decode,
+    is_compute_opcode,
+    iterator_base,
+    iterator_stride,
+    loop_iter,
+    loop_num_inst,
+    permute,
+    set_immediate,
+    sync,
+    tile_ldst,
+)
+
+namespaces = st.sampled_from(list(Namespace))
+iter_idx = st.integers(0, 31)
+
+
+@st.composite
+def compute_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.ALU, Opcode.CALCULUS,
+                                   Opcode.COMPARISON]))
+    funcs = {Opcode.ALU: AluFunc, Opcode.CALCULUS: CalculusFunc,
+             Opcode.COMPARISON: ComparisonFunc}[opcode]
+    return Instruction(
+        opcode=opcode, func=int(draw(st.sampled_from(list(funcs)))),
+        dst=Operand(draw(namespaces), draw(iter_idx)),
+        src1=Operand(draw(namespaces), draw(iter_idx)),
+        src2=Operand(draw(namespaces), draw(iter_idx)))
+
+
+@st.composite
+def config_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.SYNC, Opcode.ITERATOR_CONFIG,
+                                   Opcode.LOOP, Opcode.PERMUTE,
+                                   Opcode.TILE_LD_ST, Opcode.DATATYPE_CAST]))
+    return Instruction(
+        opcode=opcode, func=draw(st.integers(0, 15)),
+        field3=draw(st.integers(0, 7)), field5=draw(st.integers(0, 31)),
+        imm=draw(st.integers(-(1 << 15), (1 << 16) - 1)))
+
+
+@given(compute_instructions())
+def test_compute_roundtrip(inst):
+    word = inst.pack()
+    assert 0 <= word < (1 << 32)
+    back = decode(word)
+    assert back.opcode == inst.opcode
+    assert back.func == inst.func
+    assert back.dst == inst.dst
+    assert back.src1 == inst.src1
+    assert back.src2 == inst.src2
+
+
+@given(config_instructions())
+def test_config_roundtrip(inst):
+    word = inst.pack()
+    back = decode(word)
+    assert back.opcode == inst.opcode
+    assert back.func == inst.func
+    assert back.field3 == inst.field3
+    assert back.field5 == inst.field5
+    # Immediates round-trip modulo 16-bit sign interpretation.
+    assert (back.imm & 0xFFFF) == (inst.imm & 0xFFFF)
+
+
+def test_every_instruction_is_32_bits():
+    # The headline claim of Section 3.2: strided addresses + compute fit
+    # one 32-bit instruction word.
+    inst = alu(AluFunc.MACC, Operand(Namespace.OBUF, 31),
+               Operand(Namespace.IBUF1, 31), Operand(Namespace.IBUF2, 31))
+    assert inst.pack() < (1 << 32)
+
+
+def test_field_overflow_rejected():
+    with pytest.raises(EncodingError):
+        Instruction(Opcode.LOOP, 0, field3=8).pack()  # 3-bit field
+    with pytest.raises(EncodingError):
+        Instruction(Opcode.LOOP, 0, field5=32).pack()  # 5-bit field
+    with pytest.raises(EncodingError):
+        Instruction(Opcode.LOOP, 0, imm=1 << 17).pack()
+
+
+def test_iterator_idx_overflow_rejected():
+    with pytest.raises(EncodingError):
+        alu(AluFunc.ADD, Operand(Namespace.IBUF1, 32),
+            Operand(Namespace.IBUF1, 0), Operand(Namespace.IBUF1, 0)).pack()
+
+
+def test_set_immediate_small_is_one_word():
+    insts = set_immediate(0, -453)
+    assert len(insts) == 1
+    assert insts[0].func == int(IteratorConfigFunc.IMM_VALUE)
+
+
+def test_set_immediate_large_needs_high_word():
+    insts = set_immediate(3, 1 << 20)
+    assert len(insts) == 2
+    assert insts[1].func == int(IteratorConfigFunc.IMM_HIGH)
+
+
+def test_set_immediate_32bit_bound():
+    with pytest.raises(ValueError):
+        set_immediate(0, 1 << 31)
+
+
+@given(st.integers(-(1 << 31), (1 << 31) - 1))
+def test_set_immediate_reconstructs_value(value):
+    insts = set_immediate(0, value)
+    low = insts[0].imm & 0xFFFF
+    if len(insts) == 1:
+        got = low - (1 << 16) if low >= (1 << 15) else low
+    else:
+        word = ((insts[1].imm & 0xFFFF) << 16) | low
+        got = word - (1 << 32) if word >= (1 << 31) else word
+    assert got == value
+
+
+def test_sync_funcs_distinct():
+    packed = {sync(f).pack() for f in SyncFunc}
+    assert len(packed) == len(SyncFunc)
+
+
+def test_program_binary_roundtrip():
+    program = TandemProgram("p")
+    program.append(sync(SyncFunc.SIMD_START_EXEC))
+    program.extend(set_immediate(0, 123456))
+    program.append(iterator_base(Namespace.IBUF1, 0, 100))
+    program.append(iterator_stride(Namespace.IBUF1, 0, 1))
+    program.append(loop_iter(0, 64))
+    program.append(loop_num_inst(1))
+    program.append(alu(AluFunc.ADD, Operand(Namespace.IBUF1, 0),
+                       Operand(Namespace.IBUF1, 0),
+                       Operand(Namespace.IMM, 0)))
+    program.append(tile_ldst(LdStFunc.ST_START))
+    program.append(permute(PermuteFunc.START))
+    program.append(sync(SyncFunc.SIMD_END_EXEC))
+    blob = program.to_bytes()
+    assert len(blob) == 4 * len(program)
+    back = TandemProgram.from_bytes("p2", blob)
+    assert back.pack() == program.pack()
+
+
+def test_program_histogram_and_counts():
+    program = TandemProgram("p")
+    program.append(loop_iter(0, 4))
+    program.append(loop_num_inst(1))
+    program.append(alu(AluFunc.MUL, Operand(Namespace.IBUF1, 0),
+                       Operand(Namespace.IBUF1, 1),
+                       Operand(Namespace.IBUF1, 2)))
+    assert program.compute_instruction_count() == 1
+    assert program.config_instruction_count() == 2
+    assert program.opcode_histogram()[Opcode.LOOP] == 2
+
+
+def test_disassembler_mentions_operands():
+    program = TandemProgram("p")
+    program.append(alu(AluFunc.MACC, Operand(Namespace.OBUF, 3),
+                       Operand(Namespace.IBUF1, 1),
+                       Operand(Namespace.IMM, 2)))
+    text = program.disassemble()
+    assert "MACC" in text
+    assert "OBUF[it3]" in text
+    assert "IMM[it2]" in text
+
+
+def test_from_bytes_rejects_ragged_blob():
+    with pytest.raises(ValueError):
+        TandemProgram.from_bytes("x", b"\x00\x01\x02")
+
+
+def test_is_compute_opcode():
+    assert is_compute_opcode(Opcode.ALU)
+    assert is_compute_opcode(Opcode.CALCULUS)
+    assert not is_compute_opcode(Opcode.LOOP)
+    assert not is_compute_opcode(Opcode.TILE_LD_ST)

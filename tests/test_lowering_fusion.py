@@ -1,0 +1,181 @@
+"""Lowering structure, block formation, and tiling search."""
+
+import pytest
+
+from repro.compiler import (
+    CompileError,
+    compile_model,
+    external_outputs,
+    form_blocks,
+    initial_tiles,
+    search_tiles,
+    split_block,
+)
+from repro.compiler.fusion import Block
+from repro.graph import GraphBuilder
+from repro.isa import Namespace, Opcode, SyncFunc
+from repro.models import build_model
+from repro.simulator.params import TandemParams
+
+
+def _fused_graph():
+    b = GraphBuilder("fused")
+    x = b.input("x", (1, 4, 8, 8), dtype="int8")
+    y = b.relu(b.conv(x, 4, 3))
+    z = b.add(y, y)
+    w = b.relu(b.conv(z, 4, 3))
+    return b.finish([w])
+
+
+# -- block formation ------------------------------------------------------------
+def test_gemm_opens_new_block():
+    graph = _fused_graph()
+    blocks = form_blocks(graph)
+    kinds = [blk.kind for blk in blocks]
+    assert kinds == ["gemm_tandem", "gemm_tandem"]
+    assert [len(blk.ops) for blk in blocks] >= [2, 1]
+
+
+def test_leading_nongemm_forms_tandem_block():
+    b = GraphBuilder("t")
+    x = b.input("x", (4, 4), dtype="int32")
+    y = b.relu(x)
+    z = b.gemm(y, 8)
+    graph = b.finish([z])
+    blocks = form_blocks(graph)
+    assert blocks[0].kind == "tandem"
+    assert blocks[1].kind in ("gemm", "gemm_tandem")
+
+
+def test_gemm_only_block():
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 16))
+    y = b.gemm(x, 8)
+    graph = b.finish([y])
+    blocks = form_blocks(graph)
+    assert blocks[-1].kind == "gemm"
+    assert blocks[-1].ops == []
+
+
+def test_external_outputs_excludes_intrablock():
+    graph = _fused_graph()
+    blocks = form_blocks(graph)
+    first = blocks[0]
+    outs = external_outputs(first, graph)
+    # Only the tensor feeding the next block's conv (via its cast)
+    # escapes; the relu intermediate is consumed in-block.
+    relu_out = first.ops[0].outputs[0]
+    assert relu_out not in outs
+    assert len(outs) >= 1
+
+
+def test_split_block_halves_ops():
+    graph = _fused_graph()
+    block = form_blocks(graph)[0]
+    assert len(block.ops) >= 2
+    first, second = split_block(block)
+    assert first.gemm is block.gemm
+    assert second.gemm is None
+    assert len(first.ops) + len(second.ops) == len(block.ops)
+
+
+def test_split_single_op_block_rejected():
+    block = Block(ops=form_blocks(_fused_graph())[0].ops[:1])
+    with pytest.raises(ValueError, match="cannot split"):
+        split_block(block)
+
+
+# -- tiling -------------------------------------------------------------------------
+def test_initial_tiles_from_obuf_budget():
+    graph = build_model("vgg16")
+    blocks = form_blocks(graph)
+    big = max(blocks, key=lambda blk: (graph.out_spec(blk.gemm).numel
+                                       if blk.gemm else 0))
+    params = TandemParams()
+    tiles = initial_tiles(big, graph, params)
+    out_words = graph.out_spec(big.gemm).numel
+    assert tiles >= out_words / (params.obuf_words // 2)
+
+
+def test_search_tiles_doubles_until_fit():
+    attempts = []
+
+    def try_compile(tiles):
+        attempts.append(tiles)
+        if tiles < 8:
+            raise CompileError("tile needs more words")
+        return "compiled"
+
+    block = Block()
+    graph = build_model("tinynet")
+    tiles, result = search_tiles(block, graph, TandemParams(), try_compile)
+    assert tiles == 8
+    assert result == "compiled"
+    assert attempts == [1, 2, 4, 8]
+
+
+def test_search_tiles_gives_up_on_imm_pressure():
+    def try_compile(tiles):
+        raise CompileError("IMM BUF exhausted (32 slots)")
+
+    with pytest.raises(CompileError, match="IMM BUF"):
+        search_tiles(Block(), build_model("tinynet"), TandemParams(),
+                     try_compile)
+
+
+# -- lowered structure -----------------------------------------------------------------
+def test_program_bracketed_by_sync():
+    model = compile_model(_fused_graph())
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        opcodes = [i.opcode for i in cb.tile.program]
+        assert opcodes[0] == Opcode.SYNC
+        assert opcodes[-1] == Opcode.SYNC
+        funcs = [i.func for i in cb.tile.program if i.opcode == Opcode.SYNC]
+        assert int(SyncFunc.SIMD_START_EXEC) in funcs
+        assert int(SyncFunc.SIMD_END_EXEC) in funcs
+
+
+def test_obuf_release_sync_woven_after_last_obuf_read():
+    model = compile_model(_fused_graph())
+    fused = next(cb for cb in model.blocks if cb.kind == "gemm_tandem")
+    program = fused.tile.program
+    release_positions = [pc for pc, inst in enumerate(program)
+                         if inst.opcode == Opcode.SYNC
+                         and inst.func == int(SyncFunc.SIMD_END_BUF)]
+    assert len(release_positions) == 1
+    # Every compute instruction after the release must not read OBUF.
+    for inst in list(program)[release_positions[0] + 1:]:
+        if inst.opcode in (Opcode.ALU, Opcode.CALCULUS, Opcode.COMPARISON):
+            assert inst.src1.ns != Namespace.OBUF
+            assert (inst.src2 is None or inst.src2.ns != Namespace.OBUF)
+    assert 0.0 < fused.tile.obuf_release_fraction <= 1.0
+
+
+def test_every_instruction_packs_to_32_bits():
+    model = compile_model(_fused_graph())
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        for word in cb.tile.program.pack():
+            assert 0 <= word < (1 << 32)
+
+
+def test_op_metas_cover_block_ops():
+    model = compile_model(_fused_graph())
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        labels = [label for label, _meta in cb.tile.op_metas]
+        assert labels == [op.op_type for op in cb.block.ops]
+
+
+def test_roundtrip_through_binary():
+    """Compiled programs survive pack/unpack (deployable artifact)."""
+    model = compile_model(_fused_graph())
+    cb = next(cb for cb in model.blocks if cb.tile is not None)
+    blob = cb.tile.program.to_bytes()
+    from repro.isa import TandemProgram
+    back = TandemProgram.from_bytes("rt", blob)
+    assert back.pack() == cb.tile.program.pack()

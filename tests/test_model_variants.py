@@ -1,0 +1,62 @@
+"""Parameterizable model builders: the GeneSys 'generator' story.
+
+The builders must produce valid, compilable graphs across a grid of
+configurations, not just the paper's fixed points.
+"""
+
+import pytest
+
+from repro.compiler import compile_model
+from repro.models.bert import build_bert
+from repro.models.gpt2 import build_gpt2
+from repro.models.resnet50 import build_resnet50
+from repro.models.vgg16 import build_vgg16
+from repro.npu import NPUTandem
+
+
+@pytest.mark.parametrize("seq", [32, 64, 384])
+def test_bert_sequence_lengths(seq):
+    graph = build_bert(seq=seq, layers=2)
+    graph.validate()
+    assert graph.tensor(graph.graph_outputs[0]).shape[1] == seq
+
+
+@pytest.mark.parametrize("layers,hidden,heads", [(1, 128, 2), (3, 256, 4)])
+def test_bert_width_depth_grid(layers, hidden, heads):
+    graph = build_bert(seq=32, hidden=hidden, layers=layers, heads=heads,
+                       intermediate=hidden * 4)
+    softmaxes = sum(1 for n in graph.nodes if n.op_type == "Softmax")
+    assert softmaxes == layers
+    model = compile_model(graph)
+    assert model.total_instructions() > 0
+
+
+def test_gpt2_short_context_compiles_and_evaluates():
+    graph = build_gpt2(seq=64, layers=2)
+    result = NPUTandem().evaluate(compile_model(graph))
+    assert result.total_seconds > 0
+    assert "Softmax" in result.per_op_seconds
+
+
+@pytest.mark.parametrize("size", [96, 160, 224])
+def test_resnet_input_resolutions(size):
+    graph = build_resnet50(input_size=size)
+    graph.validate()
+    final_hw = size // 32
+    gap = next(n for n in graph.nodes if n.op_type == "GlobalAveragePool")
+    assert graph.tensor(gap.inputs[0]).shape[-1] == final_hw
+
+
+def test_vgg_small_input_compiles():
+    graph = build_vgg16(input_size=64)
+    model = NPUTandem().compile(graph)
+    assert all(cb.tiles >= 1 for cb in model.blocks)
+
+
+def test_longer_context_costs_more_nongemm():
+    npu = NPUTandem()
+    short = npu.evaluate(compile_model(build_gpt2(seq=64, layers=2)))
+    long = npu.evaluate(compile_model(build_gpt2(seq=256, layers=2)))
+    assert long.nongemm_seconds > short.nongemm_seconds
+    assert (long.per_op_seconds["Softmax"]
+            > 4 * short.per_op_seconds["Softmax"])

@@ -1,0 +1,135 @@
+"""The seven benchmark DNNs: structure, shapes, FLOPs sanity."""
+
+import pytest
+
+from repro.graph import OpClass
+from repro.models import (
+    DISPLAY_NAMES,
+    MODEL_ORDER,
+    MODEL_YEARS,
+    available_models,
+    build_model,
+)
+
+#: Published MAC/FLOP counts (GFLOPs = 2x GMACs) for batch-1 inference.
+_EXPECTED_GFLOPS = {
+    "vgg16": (28.0, 34.0),          # ~30.9
+    "resnet50": (7.0, 9.5),         # ~8.2
+    "yolov3": (58.0, 72.0),         # ~65.9 at 416x416
+    "mobilenetv2": (0.5, 0.75),     # ~0.6
+    "efficientnet": (0.7, 1.1),     # ~0.8 (B0)
+    "bert": (19.0, 26.0),           # ~22.5 at seq 128
+}
+
+
+def test_all_seven_benchmarks_available():
+    assert set(MODEL_ORDER) == {
+        "vgg16", "resnet50", "yolov3", "mobilenetv2", "efficientnet",
+        "bert", "gpt2"}
+    for name in MODEL_ORDER:
+        assert name in available_models()
+        assert name in DISPLAY_NAMES
+        assert name in MODEL_YEARS
+
+
+@pytest.mark.parametrize("name", MODEL_ORDER)
+def test_models_validate(name, all_models):
+    graph = all_models[name]
+    graph.validate()
+    assert len(graph.topological_order()) == len(graph.nodes)
+
+
+@pytest.mark.parametrize("name,bounds", sorted(_EXPECTED_GFLOPS.items()))
+def test_flop_counts_match_published(name, bounds, all_models):
+    gflops = all_models[name].total_cost().flops / 1e9
+    lo, hi = bounds
+    assert lo <= gflops <= hi, f"{name}: {gflops:.2f} GFLOPs"
+
+
+def test_vgg16_structure(all_models):
+    graph = all_models["vgg16"]
+    convs = [n for n in graph.nodes if n.op_type == "Conv"]
+    gemms = [n for n in graph.nodes if n.op_type == "Gemm"]
+    pools = [n for n in graph.nodes if n.op_type == "MaxPool"]
+    assert len(convs) == 13
+    assert len(gemms) == 3
+    assert len(pools) == 5
+
+
+def test_resnet50_has_53_convs_and_16_residual_adds(all_models):
+    graph = all_models["resnet50"]
+    convs = [n for n in graph.nodes if n.op_type == "Conv"]
+    adds = [n for n in graph.nodes if n.op_type == "Add"]
+    assert len(convs) == 53
+    assert len(adds) == 16
+    assert any(n.op_type == "GlobalAveragePool" for n in graph.nodes)
+
+
+def test_mobilenetv2_depthwise_count(all_models):
+    graph = all_models["mobilenetv2"]
+    dw = [n for n in graph.nodes if n.op_type == "DepthwiseConv"]
+    clips = [n for n in graph.nodes if n.op_type == "Clip"]
+    assert len(dw) == 17  # one per inverted-residual block
+    assert len(clips) >= 2 * len(dw)
+
+
+def test_efficientnet_has_se_blocks(all_models):
+    graph = all_models["efficientnet"]
+    sigmoids = [n for n in graph.nodes if n.op_type == "Sigmoid"]
+    gaps = [n for n in graph.nodes if n.op_type == "GlobalAveragePool"]
+    # 16 MBConv blocks, each with SE (one GAP + two Sigmoid-ish gates).
+    assert len(gaps) == 17  # 16 SE blocks + final pooling
+    assert len(sigmoids) >= 16
+
+
+def test_yolov3_three_detection_scales(all_models):
+    graph = all_models["yolov3"]
+    assert len(graph.graph_outputs) == 3
+    shapes = {graph.tensor(o).shape[-1] for o in graph.graph_outputs}
+    assert shapes == {13, 26, 52}
+    assert sum(1 for n in graph.nodes if n.op_type == "Resize") == 2
+    assert sum(1 for n in graph.nodes if n.op_type == "Concat") == 2
+    assert sum(1 for n in graph.nodes if n.op_type == "LeakyRelu") == 72
+
+
+def test_bert_transformer_structure(all_models):
+    graph = all_models["bert"]
+    softmaxes = [n for n in graph.nodes if n.op_type == "Softmax"]
+    gelus = [n for n in graph.nodes if n.op_type == "Gelu"]
+    reduces = [n for n in graph.nodes if n.op_type == "ReduceMean"]
+    assert len(softmaxes) == 12           # one per layer
+    assert len(gelus) == 12
+    # 25 LayerNorms (2/layer + embedding), 2 ReduceMeans each.
+    assert len(reduces) == 50
+
+
+def test_gpt2_causal_and_prenorm(all_models):
+    graph = all_models["gpt2"]
+    attn_adds = [n for n in graph.nodes
+                 if n.op_type == "Add" and n.attr("causal") is True]
+    assert len(attn_adds) == 12
+    reduces = [n for n in graph.nodes if n.op_type == "ReduceMean"]
+    assert len(reduces) == 50  # 24 LNs + final LN, 2 each
+    # The LM head projects to the vocabulary.
+    logits = graph.tensor(graph.graph_outputs[0])
+    assert logits.shape[-1] == 50257
+
+
+def test_language_models_are_nongemm_heavy(all_models):
+    for name in ("bert", "gpt2"):
+        fraction = all_models[name].gemm_fraction()
+        assert fraction < 0.2, f"{name} GEMM fraction {fraction:.2f}"
+
+
+def test_cnn_gemm_fraction_higher_than_lm(all_models):
+    assert (all_models["vgg16"].gemm_fraction()
+            > all_models["bert"].gemm_fraction())
+
+
+def test_unknown_model_raises():
+    with pytest.raises(KeyError, match="unknown model"):
+        build_model("alexnet")
+
+
+def test_build_model_is_memoized():
+    assert build_model("tinynet") is build_model("tinynet")

@@ -1,0 +1,65 @@
+"""Operator registry: Table 1 classes and cost descriptors."""
+
+import pytest
+
+from repro.graph import (
+    NON_GEMM_CLASSES,
+    TABLE1_EXAMPLES,
+    OpClass,
+    all_ops,
+    class_of,
+    is_gemm_op,
+    op_info,
+)
+
+
+def test_gemm_class_members():
+    for op in ("Conv", "MatMul", "Gemm"):
+        assert is_gemm_op(op)
+        assert class_of(op) is OpClass.GEMM
+
+
+def test_table1_examples_all_registered():
+    for cls, examples in TABLE1_EXAMPLES.items():
+        for op in examples:
+            assert class_of(op) is cls, f"{op} should be {cls}"
+
+
+def test_five_non_gemm_classes():
+    assert len(NON_GEMM_CLASSES) == 5
+    assert OpClass.GEMM not in NON_GEMM_CLASSES
+
+
+def test_depthwise_conv_is_reduction_not_gemm():
+    # Table 1 places depth-wise conv in the reduction class; the Tandem
+    # Processor (not the GEMM unit) executes it.
+    info = op_info("DepthwiseConv")
+    assert info.op_class is OpClass.REDUCTION
+    assert info.is_reduction
+    assert not info.is_gemm
+
+
+def test_layout_ops_have_zero_arithmetic():
+    for op in ("Transpose", "Reshape", "Concat", "Flatten"):
+        assert op_info(op).is_layout_only
+
+
+def test_unknown_operator_raises_with_suggestions():
+    with pytest.raises(KeyError, match="unknown operator"):
+        op_info("Softplus")
+
+
+def test_complex_ops_cost_more_than_simple():
+    assert op_info("Gelu").ops_per_element > op_info("Relu").ops_per_element
+    assert op_info("Exp").ops_per_element > op_info("Add").ops_per_element
+
+
+def test_binary_ops_have_arity_two():
+    for op in ("Add", "Sub", "Mul", "Div", "Pow", "Greater"):
+        assert op_info(op).arity == 2
+
+
+def test_registry_is_copy():
+    ops = all_ops()
+    ops["Fake"] = None
+    assert "Fake" not in all_ops()

@@ -1,0 +1,121 @@
+"""Loop-nest timing model: vectorization, reductions, overlays."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulator import BodyOpMeta, TandemParams, VpuOverlay, nest_timing
+from repro.simulator.pipeline import nest_points
+
+PARAMS = TandemParams()
+BASE = VpuOverlay()
+
+
+def _op(dst=1, srcs=(1, 1), reads=2):
+    return BodyOpMeta(dst_inner_stride=dst, src_inner_strides=tuple(srcs),
+                      mem_reads=reads, mem_writes=1)
+
+
+def test_vectorized_elementwise():
+    timing = nest_timing([1024], [_op()], PARAMS, BASE)
+    assert timing.vector_issues == 1024 // 32
+    assert timing.cycles == 32 + PARAMS.pipeline_depth
+    assert timing.scalar_points == 1024
+
+
+def test_partial_final_chunk_rounds_up():
+    timing = nest_timing([33], [_op()], PARAMS, BASE)
+    assert timing.vector_issues == 2
+
+
+def test_outer_loops_multiply():
+    timing = nest_timing([7, 64], [_op()], PARAMS, BASE)
+    assert timing.vector_issues == 7 * 2
+
+
+def test_non_unit_stride_serializes():
+    strided = _op(dst=2, srcs=(1,), reads=1)
+    timing = nest_timing([64], [strided], PARAMS, BASE)
+    assert timing.vector_issues == 64  # lane-serial
+
+
+def test_broadcast_stride_zero_still_vectorizes():
+    op = _op(dst=1, srcs=(1, 0), reads=2)
+    timing = nest_timing([64], [op], PARAMS, BASE)
+    assert timing.vector_issues == 2
+
+
+def test_lane_reduction_pays_tree():
+    # dst fixed while src walks the inner loop: combine across lanes.
+    reduce_op = _op(dst=0, srcs=(1,), reads=1)
+    timing = nest_timing([4, 64], [reduce_op], PARAMS, BASE)
+    assert timing.reduce_tree_cycles == 4 * int(math.log2(PARAMS.lanes))
+
+
+def test_multi_instruction_body_scales():
+    one = nest_timing([256], [_op()], PARAMS, BASE)
+    three = nest_timing([256], [_op()] * 3, PARAMS, BASE)
+    assert three.vector_issues == 3 * one.vector_issues
+
+
+def test_spad_accesses_count_reads_and_writes():
+    timing = nest_timing([10], [_op(reads=2)], PARAMS, BASE)
+    assert timing.spad_accesses == 10 * 3
+
+
+def test_regfile_overlay_adds_ldst_per_chunk():
+    overlay = VpuOverlay(regfile_loads=True)
+    base = nest_timing([1024], [_op()], PARAMS, BASE)
+    with_rf = nest_timing([1024], [_op()], PARAMS, overlay)
+    chunks = 1024 // 32
+    assert with_rf.regfile_issues == chunks * 3  # 2 loads + 1 store
+    assert with_rf.cycles == base.cycles + chunks * 3
+
+
+def test_regfile_amortizes_over_long_bodies():
+    """Figure 6a intuition: fused bodies keep intermediates in registers,
+    so the relative LD/ST overhead shrinks with body length."""
+    overlay = VpuOverlay(regfile_loads=True)
+    short = nest_timing([1024], [_op()], PARAMS, overlay)
+    long = nest_timing([1024], [_op()] * 10, PARAMS, overlay)
+    rel_short = short.regfile_issues / short.vector_issues
+    rel_long = long.regfile_issues / long.vector_issues
+    assert rel_long < rel_short
+
+
+def test_address_calc_overlay():
+    overlay = VpuOverlay(explicit_address_calc=True)
+    timing = nest_timing([640], [_op()], PARAMS, overlay)
+    assert timing.addr_calc_issues == 3 * timing.vector_issues
+
+
+def test_conventional_loop_overlay_charges_wraps():
+    overlay = VpuOverlay(conventional_loops=True)
+    flat = nest_timing([1024], [_op()], PARAMS, overlay)
+    nested = nest_timing([4, 256], [_op()], PARAMS, overlay)
+    assert flat.loop_branch_cycles == VpuOverlay.LOOP_BRANCH_INSTS * 32
+    # Same total points but extra outer-level wrap bookkeeping.
+    assert nested.loop_branch_cycles > flat.loop_branch_cycles
+
+
+def test_empty_counts_defaults_to_one_point():
+    timing = nest_timing([], [_op()], PARAMS, BASE)
+    assert timing.scalar_points == 1
+
+
+@given(st.lists(st.integers(1, 20), min_size=1, max_size=4))
+def test_nest_points(counts):
+    expected = 1
+    for c in counts:
+        expected *= c
+    assert nest_points(counts) == expected
+
+
+@given(st.lists(st.integers(1, 64), min_size=1, max_size=3),
+       st.integers(1, 4))
+def test_cycles_lower_bounded_by_issues(counts, body_len):
+    timing = nest_timing(counts, [_op()] * body_len, PARAMS, BASE)
+    assert timing.cycles >= timing.vector_issues
+    assert timing.scalar_points == nest_points(counts) * body_len

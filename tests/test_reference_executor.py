@@ -1,0 +1,109 @@
+"""Reference executor: float-level sanity of the integer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import FRAC_BITS, ReferenceExecutor, from_fixed, to_fixed
+from repro.graph import GraphBuilder
+
+
+def _run(build, bindings):
+    graph = build()
+    return graph, ReferenceExecutor(graph).run(bindings)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (4, 16), dtype="int32")
+    g = b.finish([b.softmax(x)])
+    out = ReferenceExecutor(g).run({"x": rng.integers(-512, 512, (4, 16))})
+    probs = from_fixed(out[g.graph_outputs[0]])
+    sums = probs.sum(axis=-1)
+    assert np.all(np.abs(sums - 1.0) < 0.15)
+    assert np.all(probs >= 0)
+
+
+def test_softmax_invariant_to_row_shift(rng):
+    """Integer softmax subtracts the row max, so adding a constant to a
+    row must not change the result (numerical-stability invariant)."""
+    b = GraphBuilder("t")
+    x = b.input("x", (2, 8), dtype="int32")
+    g = b.finish([b.softmax(x)])
+    data = rng.integers(-200, 200, (2, 8))
+    ref = ReferenceExecutor(g)
+    base = ref.run({"x": data})[g.graph_outputs[0]]
+    shifted = ref.run({"x": data + 1000})[g.graph_outputs[0]]
+    np.testing.assert_array_equal(base, shifted)
+
+
+def test_layernorm_chain_zero_mean(rng):
+    """x - mean(x) really has (integer-truncated) zero mean."""
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 4, 32), dtype="int32")
+    mean = b.reduce_mean(x, axis=-1)
+    centered = b.sub(x, mean)
+    g = b.finish([centered])
+    out = ReferenceExecutor(g).run({"x": rng.integers(-500, 500, (1, 4, 32))})
+    centered_mean = out[g.graph_outputs[0]].mean(axis=-1)
+    assert np.all(np.abs(centered_mean) < 1.0)
+
+
+def test_conv_bias_applied(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 2, 4, 4), dtype="int8")
+    y = b.conv(x, 3, 1, pad=0)
+    g = b.finish([y])
+    node = g.nodes[0]
+    weights = np.zeros((3, 2, 1, 1), dtype=int)
+    bias = np.array([10, 20, 30])
+    out = ReferenceExecutor(g).run({
+        "x": np.zeros((1, 2, 4, 4), dtype=int),
+        node.params[0]: weights,
+        node.params[1]: bias,
+    })
+    result = out[g.graph_outputs[0]]
+    for channel, expected in enumerate(bias):
+        assert np.all(result[0, channel] == expected)
+
+
+def test_gather_embedding_lookup(rng):
+    b = GraphBuilder("t")
+    tokens = b.input("tok", (1, 4), dtype="int32")
+    table = b.param("w_embed", (10, 3), "int32")
+    out = b.emit("Gather", [tokens], (1, 4, 3), "int32", {}, [table])
+    g = b.finish([out])
+    table_values = rng.integers(-9, 9, (10, 3))
+    result = ReferenceExecutor(g).run({
+        "tok": np.array([[1, 3, 3, 7]]),
+        g.nodes[0].params[0]: table_values,
+    })[g.graph_outputs[0]]
+    np.testing.assert_array_equal(result[0, 0], table_values[1])
+    np.testing.assert_array_equal(result[0, 1], table_values[3])
+    np.testing.assert_array_equal(result[0, 3], table_values[7])
+
+
+def test_unsupported_operator_reports_clearly():
+    from repro.graph import Graph, Node, TensorSpec, ops, OpClass, OpInfo
+    if not ops.is_registered("Mystery"):
+        ops.register(OpInfo("Mystery", OpClass.ELEMENTWISE_MATH))
+    g = Graph("t")
+    g.add_tensor(TensorSpec("a", (4,)))
+    g.add_tensor(TensorSpec("b", (4,)))
+    g.mark_input("a")
+    g.add_node(Node("n", "Mystery", ["a"], ["b"]))
+    g.mark_output("b")
+    with pytest.raises(NotImplementedError, match="Mystery"):
+        ReferenceExecutor(g).run({"a": np.zeros(4, dtype=int)})
+
+
+def test_int32_wraparound_matches_hardware():
+    """Chained multiplies overflow exactly like the 32-bit write-back."""
+    b = GraphBuilder("t")
+    x = b.input("x", (2,), dtype="int32")
+    y = b.mul(x, x)
+    z = b.mul(y, y)
+    g = b.finish([z])
+    big = np.array([100_000, -70_000])
+    out = ReferenceExecutor(g).run({"x": big})[g.graph_outputs[0]]
+    assert np.all(out >= -(1 << 31))
+    assert np.all(out < (1 << 31))

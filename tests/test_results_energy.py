@@ -1,0 +1,73 @@
+"""RunResult arithmetic and the energy ledger."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.results import RunResult, geomean
+from repro.simulator import EnergyLedger
+
+pos = st.floats(min_value=1e-9, max_value=1e6, allow_nan=False)
+
+
+def _result(seconds, joules):
+    return RunResult(design="d", model="m", total_seconds=seconds,
+                     energy_joules=joules)
+
+
+def test_speedup_and_energy_reduction():
+    fast = _result(1.0, 2.0)
+    slow = _result(4.0, 10.0)
+    assert fast.speedup_over(slow) == 4.0
+    assert fast.energy_reduction_over(slow) == 5.0
+
+
+def test_average_power_and_perf_per_watt():
+    result = _result(2.0, 10.0)
+    assert result.average_power_watts == 5.0
+    assert result.perf_per_watt() == pytest.approx(0.5 / 5.0)
+
+
+def test_zero_time_guards():
+    result = _result(0.0, 0.0)
+    assert result.average_power_watts == 0.0
+    assert result.throughput_per_second == 0.0
+    assert result.perf_per_watt() == 0.0
+
+
+@given(pos, pos, pos, pos)
+def test_speedup_antisymmetry(t1, e1, t2, e2):
+    a, b = _result(t1, e1), _result(t2, e2)
+    assert a.speedup_over(b) * b.speedup_over(a) == pytest.approx(1.0)
+
+
+def test_geomean():
+    assert geomean([1, 4]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    assert geomean([7]) == pytest.approx(7.0)
+
+
+def test_ledger_total_and_breakdown():
+    ledger = EnergyLedger(dram_pj=50, spad_pj=25, alu_pj=25)
+    assert ledger.total_pj() == 100
+    breakdown = ledger.breakdown()
+    assert breakdown["dram"] == 0.5
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+
+
+def test_empty_ledger_breakdown_is_zero():
+    assert all(v == 0 for v in EnergyLedger().breakdown().values())
+
+
+def test_ledger_add_and_scale():
+    a = EnergyLedger(dram_pj=10, alu_pj=5)
+    b = EnergyLedger(dram_pj=1, loop_addr_pj=2)
+    merged = a.add(b)
+    assert merged.dram_pj == 11
+    assert merged.loop_addr_pj == 2
+    doubled = merged.scaled(2)
+    assert doubled.total_pj() == 2 * merged.total_pj()
+
+
+def test_ledger_joules_conversion():
+    assert EnergyLedger(dram_pj=1e12).total_joules() == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Scratchpads and Iterator Tables."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Namespace
+from repro.simulator import (
+    IteratorError,
+    IteratorTable,
+    Scratchpad,
+    ScratchpadError,
+    ScratchpadFile,
+)
+from repro.simulator.iterators import IteratorEntry
+
+
+def test_read_write_and_counters():
+    pad = Scratchpad("t", 16)
+    pad.write(3, 42)
+    assert pad.read(3) == 42
+    assert pad.reads == 1
+    assert pad.writes == 1
+    pad.reset_counters()
+    assert pad.reads == 0
+
+
+def test_write_wraps_to_int32():
+    pad = Scratchpad("t", 4)
+    pad.write(0, (1 << 31) + 5)
+    assert pad.read(0) == -(1 << 31) + 5
+
+
+def test_out_of_bounds_access():
+    pad = Scratchpad("t", 8)
+    with pytest.raises(ScratchpadError):
+        pad.read(8)
+    with pytest.raises(ScratchpadError):
+        pad.write(-1, 0)
+
+
+def test_block_operations():
+    pad = Scratchpad("t", 10)
+    pad.load_block(2, np.arange(5))
+    assert np.array_equal(pad.store_block(2, 5), np.arange(5))
+    with pytest.raises(ScratchpadError):
+        pad.load_block(8, np.arange(5))
+
+
+def test_scratchpad_file_namespaces():
+    pads = ScratchpadFile.build(interim_words=64, obuf_words=128,
+                                imm_slots=32, vmem_words=64)
+    assert pads[Namespace.IBUF1].words == 64
+    assert pads[Namespace.OBUF].words == 128
+    assert pads[Namespace.IMM].words == 32
+    pads[Namespace.IBUF1].write(0, 1)
+    pads[Namespace.IBUF2].read(0)
+    assert pads.total_writes() == 1
+    assert pads.total_reads() == 1
+
+
+def test_iterator_entry_address():
+    entry = IteratorEntry(base=100, strides=[32, 8, 1])
+    assert entry.address((0, 0, 0)) == 100
+    assert entry.address((1, 2, 3)) == 100 + 32 + 16 + 3
+    assert entry.innermost_stride == 1
+
+
+def test_iterator_table_configure_and_lookup():
+    table = IteratorTable(Namespace.IBUF1, 32)
+    table.set_base(5, 40)
+    table.push_stride(5, 8)
+    table.push_stride(5, 1)
+    entry = table.lookup(5)
+    assert entry.address((2, 3)) == 40 + 16 + 3
+    # Reconfiguring the base clears stale strides.
+    table.set_base(5, 0)
+    assert table.lookup(5).strides == []
+
+
+def test_iterator_index_limited_to_5_bits():
+    table = IteratorTable(Namespace.IBUF1, 32)
+    with pytest.raises(IteratorError, match="5-bit"):
+        table.set_base(32, 0)
+
+
+def test_unconfigured_iterator_rejected():
+    table = IteratorTable(Namespace.OBUF, 32)
+    with pytest.raises(IteratorError, match="before configuration"):
+        table.lookup(0)

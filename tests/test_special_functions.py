@@ -1,0 +1,52 @@
+"""VPU special-function compilation mode (Figure 18's last rung)."""
+
+import pytest
+
+from repro.compiler import compile_model
+from repro.graph import GraphBuilder
+from repro.models import build_model
+from repro.simulator import estimate
+
+
+def _gelu_softmax_graph():
+    b = GraphBuilder("t")
+    x = b.input("x", (8, 64), dtype="int32")
+    y = b.gelu(x)
+    z = b.softmax(y)
+    return b.finish([z])
+
+
+def test_special_functions_shrink_programs():
+    graph = _gelu_softmax_graph()
+    normal = compile_model(graph)
+    special = compile_model(graph, special_functions=True)
+    assert special.total_instructions() < normal.total_instructions()
+
+
+def test_special_functions_shrink_cycles():
+    graph = _gelu_softmax_graph()
+    normal = compile_model(graph)
+    special = compile_model(graph, special_functions=True)
+    n = sum(estimate(cb.tile.meta, normal.sim_params).compute_cycles
+            for cb in normal.blocks if cb.tile)
+    s = sum(estimate(cb.tile.meta, special.sim_params).compute_cycles
+            for cb in special.blocks if cb.tile)
+    assert s < n
+
+
+def test_special_functions_do_not_change_simple_ops():
+    b = GraphBuilder("t")
+    x = b.input("x", (8, 64), dtype="int32")
+    y = b.relu(x)
+    graph = b.finish([y])
+    normal = compile_model(graph)
+    special = compile_model(graph, special_functions=True)
+    assert special.total_instructions() == normal.total_instructions()
+
+
+def test_bert_special_function_benefit_is_real():
+    """On BERT the single-instruction exp/gelu/sqrt path must cut the
+    Tandem instruction count noticeably (the VPU's one advantage)."""
+    normal = compile_model(build_model("bert"))
+    special = compile_model(build_model("bert"), special_functions=True)
+    assert special.total_instructions() < 0.95 * normal.total_instructions()

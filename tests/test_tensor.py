@@ -1,0 +1,57 @@
+"""TensorSpec: shapes, dtypes, sizes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph import DTYPE_BYTES, TensorSpec
+
+
+def test_numel_and_nbytes():
+    spec = TensorSpec("x", (2, 3, 4), "int32")
+    assert spec.numel == 24
+    assert spec.nbytes == 96
+    assert spec.rank == 3
+
+
+def test_int8_is_one_byte():
+    assert TensorSpec("x", (10,), "int8").nbytes == 10
+
+
+def test_scalar_shape():
+    spec = TensorSpec("s", (1,), "int32")
+    assert spec.numel == 1
+
+
+def test_unknown_dtype_rejected():
+    with pytest.raises(ValueError, match="unknown dtype"):
+        TensorSpec("x", (1,), "float64")
+
+
+def test_nonpositive_dim_rejected():
+    with pytest.raises(ValueError, match="non-positive"):
+        TensorSpec("x", (4, 0), "int32")
+
+
+def test_with_shape_keeps_dtype():
+    spec = TensorSpec("x", (2, 3), "int8")
+    derived = spec.with_shape((6,), "y")
+    assert derived.dtype == "int8"
+    assert derived.shape == (6,)
+    assert derived.name == "y"
+
+
+@given(st.lists(st.integers(min_value=1, max_value=64), min_size=1,
+                max_size=5),
+       st.sampled_from(sorted(DTYPE_BYTES)))
+def test_nbytes_matches_dtype_width(shape, dtype):
+    spec = TensorSpec("t", tuple(shape), dtype)
+    expected = DTYPE_BYTES[dtype]
+    for dim in shape:
+        expected *= dim
+    assert spec.nbytes == expected
+
+
+def test_all_fixed_point_dtypes_registered():
+    for dtype in ("fxp4", "fxp8", "fxp16", "fxp32"):
+        assert dtype in DTYPE_BYTES

@@ -1,0 +1,139 @@
+"""Loop interchange / fission: legality checks and result preservation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompileError, Nest, Stmt, TRef
+from repro.compiler.transforms import (
+    fission,
+    fissionable,
+    interchange,
+    is_pointwise_parallel,
+)
+from repro.isa import (
+    AluFunc,
+    Namespace,
+    Opcode,
+    TandemProgram,
+    alu,
+    iterator_base,
+    iterator_stride,
+    loop_iter,
+    loop_num_inst,
+)
+from repro.isa.instructions import Operand
+from repro.simulator import TandemMachine
+
+NS = Namespace.IBUF1
+
+
+def _stmt(func, dst, src1, src2=None):
+    return Stmt(Opcode.ALU, int(func), dst, src1, src2)
+
+
+def _elementwise_nest():
+    loops = [("i", 4), ("j", 8)]
+    x = TRef(NS, 0, {"i": 8, "j": 1})
+    t = TRef(NS, 32, {"i": 8, "j": 1})
+    y = TRef(NS, 64, {"i": 8, "j": 1})
+    return Nest(loops, [_stmt(AluFunc.ADD, t, x, x),
+                        _stmt(AluFunc.MUL, y, t, t)])
+
+
+def _reduction_nest():
+    loops = [("k", 8), ("c", 4)]
+    x = TRef(NS, 0, {"k": 4, "c": 1})
+    s = TRef(NS, 32, {"k": 0, "c": 1})  # accumulates over k
+    return Nest(loops, [_stmt(AluFunc.ADD, s, s, x)])
+
+
+def test_pointwise_parallel_detection():
+    assert is_pointwise_parallel(_elementwise_nest())
+    assert not is_pointwise_parallel(_reduction_nest())
+
+
+def test_interchange_swaps_levels():
+    swapped = interchange(_elementwise_nest(), [1, 0])
+    assert [v for v, _ in swapped.loops] == ["j", "i"]
+    assert swapped.body == _elementwise_nest().body
+
+
+def test_interchange_rejects_bad_permutation():
+    with pytest.raises(CompileError, match="permutation"):
+        interchange(_elementwise_nest(), [0, 0])
+
+
+def test_interchange_rejects_accumulation():
+    with pytest.raises(CompileError, match="dependence"):
+        interchange(_reduction_nest(), [1, 0])
+
+
+def test_fission_splits_independent_body():
+    parts = fission(_elementwise_nest())
+    assert len(parts) == 2
+    assert all(len(p.body) == 1 for p in parts)
+    assert all(p.loops == _elementwise_nest().loops for p in parts)
+
+
+def test_fission_rejects_write_after_read():
+    loops = [("i", 8)]
+    a = TRef(NS, 0, {"i": 1})
+    b = TRef(NS, 8, {"i": 1})
+    # First reads a; second overwrites a with the same walk.
+    nest = Nest(loops, [_stmt(AluFunc.ADD, b, a, a),
+                        _stmt(AluFunc.MUL, a, b, b)])
+    assert not fissionable(nest)
+    with pytest.raises(CompileError, match="hazard"):
+        fission(nest)
+
+
+def _run_nests(nests, init):
+    """Execute nests on the machine; returns the whole IBUF1 contents."""
+    machine = TandemMachine()
+    machine.pads[NS].load_block(0, init)
+    program = TandemProgram("t")
+    for nest in nests:
+        loop_vars = [v for v, _ in nest.loops]
+        refs = {}
+        idx = 0
+        for stmt in nest.body:
+            for ref in (stmt.dst, stmt.src1, stmt.src2):
+                if ref is None or ref.key(loop_vars) in refs:
+                    continue
+                refs[ref.key(loop_vars)] = idx
+                program.append(iterator_base(ref.ns, idx, ref.base))
+                for var in loop_vars:
+                    program.append(iterator_stride(ref.ns, idx,
+                                                   ref.stride(var)))
+                idx += 1
+        for level, (_var, count) in enumerate(nest.loops):
+            program.append(loop_iter(level, count))
+        program.append(loop_num_inst(len(nest.body)))
+        for stmt in nest.body:
+            src2 = stmt.src2 if stmt.src2 is not None else stmt.src1
+            program.append(alu(
+                AluFunc(stmt.func),
+                Operand(stmt.dst.ns, refs[stmt.dst.key(loop_vars)]),
+                Operand(stmt.src1.ns, refs[stmt.src1.key(loop_vars)]),
+                Operand(src2.ns, refs[src2.key(loop_vars)])))
+    machine.run(program)
+    return machine.pads[NS].store_block(0, init.size)
+
+
+@pytest.fixture
+def init_data(rng):
+    return rng.integers(-50, 50, 96)
+
+
+def test_interchange_preserves_results(init_data):
+    nest = _elementwise_nest()
+    base = _run_nests([nest], init_data)
+    swapped = _run_nests([interchange(nest, [1, 0])], init_data)
+    np.testing.assert_array_equal(base, swapped)
+
+
+def test_fission_preserves_results(init_data):
+    nest = _elementwise_nest()
+    base = _run_nests([nest], init_data)
+    split = _run_nests(fission(nest), init_data)
+    np.testing.assert_array_equal(base, split)
