@@ -9,6 +9,16 @@ EXPERIMENTS.md records paper-vs-measured for every metric.
 
 import pytest
 
+from repro.runtime import EvalCache, set_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_eval_cache(tmp_path_factory):
+    """Session-private runtime cache (hermetic, keeps the tree clean)."""
+    set_cache(EvalCache(directory=tmp_path_factory.mktemp("repro_cache")))
+    yield
+    set_cache(None)
+
 
 def run_once(benchmark, exp_id):
     """Run an experiment exactly once under pytest-benchmark timing."""

@@ -1,0 +1,56 @@
+"""Cold vs. warm evaluation-pipeline timing (the PR-over-PR perf track).
+
+Runs a representative experiment subset through ``python -m
+repro.harness`` twice against the same cache directory: once cold
+(empty cache) and once warm (everything served from the
+content-addressed cache). The warm run must be at least 2x faster and
+byte-identical, as must a parallel ``--jobs`` run. The measured numbers
+land in ``BENCH_eval_pipeline.json`` at the repo root so the perf
+trajectory is visible across PRs.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXPERIMENTS = ("fig14", "fig15", "fig16", "fig18", "fig22")
+BENCH_ARTIFACT = REPO_ROOT / "BENCH_eval_pipeline.json"
+
+
+def _run_harness(cache_dir, *extra):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.harness", *EXPERIMENTS, *extra],
+        capture_output=True, env=env, cwd=REPO_ROOT, check=True)
+    return time.perf_counter() - start, proc.stdout
+
+
+def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
+    cache_dir = tmp_path / "repro_cache"
+    cold_seconds, cold_stdout = _run_harness(cache_dir)
+    warm_seconds, warm_stdout = _run_harness(cache_dir)
+    jobs_seconds, jobs_stdout = _run_harness(cache_dir, "--jobs", "2")
+
+    # Correctness first: the cache and the process pool may only change
+    # the speed, never a single output byte.
+    assert warm_stdout == cold_stdout
+    assert jobs_stdout == cold_stdout
+
+    BENCH_ARTIFACT.write_text(json.dumps({
+        "experiments": list(EXPERIMENTS),
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_jobs2_seconds": round(jobs_seconds, 3),
+        "speedup_warm_over_cold": round(cold_seconds / warm_seconds, 2),
+    }, indent=2) + "\n")
+
+    assert warm_seconds <= 0.5 * cold_seconds, (
+        f"warm run {warm_seconds:.2f}s not 2x faster than "
+        f"cold {cold_seconds:.2f}s")

@@ -52,33 +52,44 @@ def config_for(point: DesignPoint,
                    name=f"npu-tandem[{point.label()}]")
 
 
+def _evaluate_point(work) -> Optional[DseResult]:
+    """One grid point; module-level so worker processes can pickle it."""
+    from ..compiler import CompileError
+    model, point, base = work
+    npu = NPUTandem(config_for(point, base))
+    try:
+        run = npu.evaluate(model)
+    except CompileError:
+        # The model genuinely does not fit this configuration (e.g. an
+        # untileable reduction dimension exceeds the scratchpads) — an
+        # infeasible design point.
+        return None
+    area = tandem_area(npu.config.sim.tandem).total_mm2
+    return DseResult(point=point, seconds=run.total_seconds,
+                     energy_joules=run.energy_joules,
+                     tandem_area_mm2=area)
+
+
 def sweep(model: str,
           lanes: Sequence[int] = (16, 32, 64),
           interim_buf_kb: Sequence[int] = (32, 64, 128),
           array_dims: Sequence[int] = (32,),
-          base: Optional[NPUConfig] = None) -> List[DseResult]:
-    """Evaluate one model across the configuration grid."""
-    from ..compiler import CompileError
-    results = []
-    for dim in array_dims:
-        for lane_count in lanes:
-            for buf_kb in interim_buf_kb:
-                point = DesignPoint(lane_count, buf_kb, dim)
-                npu = NPUTandem(config_for(point, base))
-                try:
-                    run = npu.evaluate(model)
-                except CompileError:
-                    # The model genuinely does not fit this configuration
-                    # (e.g. an untileable reduction dimension exceeds the
-                    # scratchpads) — an infeasible design point.
-                    continue
-                area = tandem_area(npu.config.sim.tandem).total_mm2
-                results.append(DseResult(
-                    point=point,
-                    seconds=run.total_seconds,
-                    energy_joules=run.energy_joules,
-                    tandem_area_mm2=area))
-    return results
+          base: Optional[NPUConfig] = None,
+          jobs: int = 1) -> List[DseResult]:
+    """Evaluate one model across the configuration grid.
+
+    Grid points are independent, so ``jobs > 1`` fans them out across
+    worker processes; result order is the deterministic grid order
+    either way, and every evaluation flows through the shared runtime
+    cache.
+    """
+    from ..runtime import parallel_map
+    work = [(model, DesignPoint(lane_count, buf_kb, dim), base)
+            for dim in array_dims
+            for lane_count in lanes
+            for buf_kb in interim_buf_kb]
+    evaluated = parallel_map(_evaluate_point, work, jobs=jobs)
+    return [result for result in evaluated if result is not None]
 
 
 def pareto_frontier(results: Iterable[DseResult]) -> List[DseResult]:

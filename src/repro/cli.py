@@ -10,8 +10,11 @@ Commands:
 * ``compare MODEL`` — one model across every design class.
 * ``compile MODEL [--disassemble N] [--dump FILE]`` — compile and
   inspect/serialize the Tandem programs.
-* ``experiment ID [ID...]`` — regenerate paper figures/tables.
+* ``experiment ID [ID...] [--jobs N]`` — regenerate paper
+  figures/tables, optionally across worker processes.
 * ``trace MODEL`` — ASCII timeline of the software-pipelined execution.
+* ``cache {stats,clear,path}`` — inspect or drop the content-addressed
+  evaluation cache (``.repro_cache``; see :mod:`repro.runtime.cache`).
 """
 
 from __future__ import annotations
@@ -33,6 +36,7 @@ from .baselines import (
 from .harness import render_table, run_experiment
 from .models import available_models
 from .npu import NPUTandem, render_timeline, trace_model
+from .runtime import cached_evaluate, default_jobs, get_cache, parallel_map
 
 _DESIGNS: Dict[str, Callable[[], object]] = {
     "npu": NPUTandem,
@@ -61,7 +65,7 @@ def cmd_models(_args) -> int:
 
 def cmd_evaluate(args) -> int:
     design = _DESIGNS[args.design]()
-    result = design.evaluate(args.model)
+    result = cached_evaluate(design, args.model)
     print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
                        [_result_row(result)],
                        title=f"{args.model} on {args.design}"))
@@ -74,7 +78,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    rows = [_result_row(_DESIGNS[name]().evaluate(args.model))
+    rows = [_result_row(cached_evaluate(_DESIGNS[name](), args.model))
             for name in _DESIGNS]
     print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
                        rows, title=f"{args.model} across design classes"))
@@ -104,10 +108,36 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _render_experiment(exp_id: str) -> str:
+    return run_experiment(exp_id).render()
+
+
 def cmd_experiment(args) -> int:
-    for exp_id in args.ids:
-        print(run_experiment(exp_id).render())
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    for text in parallel_map(_render_experiment, args.ids, jobs=jobs):
+        print(text)
         print()
+    return 0
+
+
+def cmd_cache(args) -> int:
+    cache = get_cache()
+    if args.action == "clear":
+        cache.clear()
+        print("cache cleared")
+    elif args.action == "path":
+        print(cache.directory if cache.directory is not None else "(memory)")
+    else:  # stats
+        counts = cache.entry_counts()
+        rows = [(kind, counts[kind]) for kind in sorted(counts)] or \
+            [("(empty)", 0)]
+        print(render_table(("kind", "entries"), rows,
+                           title=f"cache at {cache.directory}"))
+        stats = cache.stats.as_dict()
+        print()
+        print(render_table(("counter", "value"),
+                           [(k, stats[k]) for k in sorted(stats)],
+                           title="this process"))
     return 0
 
 
@@ -145,11 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment",
                                 help="regenerate paper figures/tables")
     experiment.add_argument("ids", nargs="+")
+    experiment.add_argument("--jobs", "-j", type=int, default=None,
+                            metavar="N",
+                            help="worker processes (default: $REPRO_JOBS)")
 
     trace = sub.add_parser("trace", help="ASCII execution timeline")
     trace.add_argument("model")
     trace.add_argument("--events", type=int, default=80)
     trace.add_argument("--width", type=int, default=72)
+
+    cache = sub.add_parser("cache", help="inspect/clear the eval cache")
+    cache.add_argument("action", choices=("stats", "clear", "path"),
+                       nargs="?", default="stats")
     return parser
 
 
@@ -160,6 +197,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "experiment": cmd_experiment,
     "trace": cmd_trace,
+    "cache": cmd_cache,
 }
 
 

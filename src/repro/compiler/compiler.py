@@ -99,13 +99,64 @@ def _compile_block_tile(block: Block, graph: Graph, params: SimParams,
                       op_ranges=op_ranges)
 
 
+def _compile_key(graph: Graph, sim_params: SimParams,
+                 gemm_params: SystolicParams, frac_bits: int,
+                 special_functions: bool) -> str:
+    """Content address of the compiled artifact.
+
+    Lowering and tiling read only ``sim_params.tandem`` (scratchpad
+    capacities, lanes, iterator-table sizes); DRAM, energy and overlay
+    parameters shape evaluation, not the artifact, so they stay out of
+    the key and a cache hit is rebound to the requested ``sim_params``.
+    """
+    from ..runtime.cache import fingerprint, graph_fingerprint
+    from .serialize import FORMAT_VERSION
+    return fingerprint("compiled-model", FORMAT_VERSION,
+                       graph_fingerprint(graph), sim_params.tandem,
+                       gemm_params, frac_bits, special_functions)
+
+
 def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
                   gemm_params: Optional[SystolicParams] = None,
                   frac_bits: int = FRAC_BITS,
                   special_functions: bool = False) -> CompiledModel:
-    """Compile a graph for the NPU-Tandem (Table 3 defaults)."""
+    """Compile a graph for the NPU-Tandem (Table 3 defaults).
+
+    Compilation is content-cached (see :mod:`repro.runtime.cache`): a
+    structurally identical (graph, Tandem core, GEMM array, options)
+    request returns the cached artifact, rebound to the requested
+    ``graph`` object and full ``sim_params``.
+    """
+    from ..runtime.cache import get_cache
+    from .serialize import dump_model, load_model
+
     sim_params = sim_params or SimParams()
     gemm_params = gemm_params or SystolicParams()
+    cache = get_cache()
+    key = None
+    if cache.enabled:
+        key = _compile_key(graph, sim_params, gemm_params, frac_bits,
+                           special_functions)
+        hit = cache.get(
+            "compiled", key,
+            decode=lambda text: load_model(text, graph, sim_params,
+                                           gemm_params))
+        if hit is not None:
+            # Blocks are shared, read-only artifacts; the wrapper binds
+            # this caller's graph object and evaluation parameters.
+            return CompiledModel(graph=graph, blocks=hit.blocks,
+                                 sim_params=sim_params,
+                                 gemm_params=gemm_params)
+    model = _compile_model_uncached(graph, sim_params, gemm_params,
+                                    frac_bits, special_functions)
+    if key is not None:
+        cache.put("compiled", key, model, encode=dump_model)
+    return model
+
+
+def _compile_model_uncached(graph: Graph, sim_params: SimParams,
+                            gemm_params: SystolicParams, frac_bits: int,
+                            special_functions: bool) -> CompiledModel:
     array = SystolicArray(gemm_params)
 
     compiled: List[CompiledBlock] = []

@@ -20,7 +20,16 @@ from ..simulator.pipeline import BodyOpMeta
 from .ir import PermuteSlot, TransferSlot
 from .lowering import LoweredTile
 
-FORMAT_VERSION = 1
+# Version 2 adds per-block node references (``gemm_node``/``op_nodes``)
+# so a full CompiledModel can be rebuilt against a deterministic graph.
+FORMAT_VERSION = 2
+
+
+def _json_scalar(value):
+    """JSON fallback for numpy scalars (graphs built from numpy shapes)."""
+    if hasattr(value, "item"):
+        return value.item()
+    raise TypeError(f"not JSON serializable: {type(value).__name__}")
 
 
 def _transfer_to_dict(slot: TransferSlot) -> Dict:
@@ -144,6 +153,9 @@ def dump_model(model) -> str:
         blocks.append({
             "name": cb.name,
             "kind": cb.kind,
+            "gemm_node": (cb.block.gemm.name
+                          if cb.block.gemm is not None else None),
+            "op_nodes": [op.name for op in cb.block.ops],
             "tiles": cb.tiles,
             "tile": tile_to_dict(cb.tile) if cb.tile is not None else None,
             "gemm_cost": (None if cb.gemm_cost is None else {
@@ -159,7 +171,7 @@ def dump_model(model) -> str:
         "format_version": FORMAT_VERSION,
         "model": model.name,
         "blocks": blocks,
-    }, indent=1)
+    }, indent=1, default=_json_scalar)
 
 
 def load_blocks(text: str) -> List[Dict]:
@@ -184,9 +196,34 @@ def load_blocks(text: str) -> List[Dict]:
         blocks.append({
             "name": blk["name"],
             "kind": blk["kind"],
+            "gemm_node": blk.get("gemm_node"),
+            "op_nodes": blk.get("op_nodes", []),
             "tiles": blk["tiles"],
             "tile": tile_from_dict(blk["tile"]) if blk["tile"] else None,
             "gemm_cost": cost,
             "stores": blk["stores"],
         })
     return blocks
+
+
+def load_model(text: str, graph, sim_params, gemm_params):
+    """Rebuild a full :class:`CompiledModel` from its serialized form.
+
+    ``graph`` must be structurally identical to the graph the artifact
+    was compiled from (the content-addressed cache guarantees this);
+    block node objects are re-resolved by name against it.
+    """
+    from .compiler import CompiledBlock, CompiledModel
+    from .fusion import Block
+
+    by_name = {node.name: node for node in graph.nodes}
+    blocks = []
+    for blk in load_blocks(text):
+        gemm = by_name[blk["gemm_node"]] if blk["gemm_node"] else None
+        block = Block(gemm=gemm,
+                      ops=[by_name[name] for name in blk["op_nodes"]])
+        blocks.append(CompiledBlock(
+            block=block, tiles=blk["tiles"], tile=blk["tile"],
+            gemm_cost=blk["gemm_cost"], stores=list(blk["stores"])))
+    return CompiledModel(graph=graph, blocks=blocks,
+                         sim_params=sim_params, gemm_params=gemm_params)

@@ -1,17 +1,61 @@
-"""Render every experiment: ``python -m repro.harness [ids...]``."""
+"""Render every experiment: ``python -m repro.harness [ids...] [-j N]``.
+
+Experiments are independent, so ``--jobs N`` fans them out across
+worker processes; output stays in request order (byte-identical to a
+serial run). Evaluations flow through the shared content-addressed
+cache (``.repro_cache`` by default), so a warm invocation skips the
+compile and sweep work entirely — ``--no-cache``, ``--cache-dir`` and
+``--clear-cache`` control it.
+"""
 
 from __future__ import annotations
 
+import argparse
+import os
 import sys
 
+from ..runtime import default_jobs, parallel_map, set_cache
 from .experiments import all_experiment_ids, run_experiment
 
 
-def main(argv) -> int:
-    ids = argv or all_experiment_ids()
-    for exp_id in ids:
-        experiment = run_experiment(exp_id)
-        print(experiment.render())
+def _render(exp_id: str) -> str:
+    return run_experiment(exp_id).render()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate paper figures/tables (EXPERIMENTS.md content)")
+    parser.add_argument("ids", nargs="*", metavar="ID",
+                        help="experiment ids (default: all)")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes (default: $REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the compile/result cache")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="on-disk cache location (default .repro_cache)")
+    parser.add_argument("--clear-cache", action="store_true",
+                        help="drop every cached entry before running")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    # Cache policy travels through the environment so that spawned
+    # workers inherit it regardless of start method.
+    if args.no_cache:
+        os.environ["REPRO_CACHE"] = "0"
+        set_cache(None)
+    if args.cache_dir:
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        set_cache(None)
+    if args.clear_cache:
+        from ..runtime import get_cache
+        get_cache().clear()
+    ids = args.ids or all_experiment_ids()
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    for text in parallel_map(_render, ids, jobs=jobs):
+        print(text)
         print()
     return 0
 

@@ -46,6 +46,31 @@ class NPUTandem:
                              special_functions=self.special_functions)
 
     def evaluate(self, graph: Union[str, Graph, CompiledModel]) -> RunResult:
+        """End-to-end latency/energy; results are content-cached.
+
+        Evaluations of a zoo model name or a Graph go through the shared
+        :mod:`repro.runtime.cache` result tier keyed on (design state,
+        graph structure). Pre-compiled :class:`CompiledModel` inputs are
+        evaluated directly — the caller may have customized the blocks.
+        """
+        from ..runtime import cache as runtime_cache
+        key = None
+        if not isinstance(graph, CompiledModel) and \
+                runtime_cache.get_cache().enabled:
+            g = build_model(graph) if isinstance(graph, str) else graph
+            key = runtime_cache.result_key(
+                ("npu-tandem", runtime_cache.object_fingerprint(self.config),
+                 self.overlap, self.fifo_coupling, self.special_functions),
+                g)
+            hit = runtime_cache.get_result(key)
+            if hit is not None:
+                return hit
+        result = self._evaluate(graph)
+        if key is not None:
+            runtime_cache.put_result(key, result)
+        return result
+
+    def _evaluate(self, graph: Union[str, Graph, CompiledModel]) -> RunResult:
         model = graph if isinstance(graph, CompiledModel) else self.compile(graph)
         freq = self.config.frequency_hz
 

@@ -1,0 +1,40 @@
+"""Evaluation runtime: caching and fan-out shared by every entry point.
+
+The paper's evaluation is a 22-figure sweep over 7 DNNs x ~6 design
+points; without help it recompiles and re-estimates identical work in
+every experiment and every process. This package supplies the serving
+disciplines the ROADMAP asks for:
+
+* :mod:`repro.runtime.cache` — a content-addressed, two-tier
+  (in-memory + on-disk) cache of compiled models and run results, keyed
+  by structural fingerprints of the graph and the design parameters.
+* :mod:`repro.runtime.parallel` — a deterministic ``concurrent.futures``
+  fan-out over (model x design-point) work items with a serial fallback.
+"""
+
+from .cache import (
+    CACHE_EPOCH,
+    CacheStats,
+    EvalCache,
+    cached_evaluate,
+    fingerprint,
+    get_cache,
+    graph_fingerprint,
+    object_fingerprint,
+    set_cache,
+)
+from .parallel import default_jobs, parallel_map
+
+__all__ = [
+    "CACHE_EPOCH",
+    "CacheStats",
+    "EvalCache",
+    "cached_evaluate",
+    "default_jobs",
+    "fingerprint",
+    "get_cache",
+    "graph_fingerprint",
+    "object_fingerprint",
+    "parallel_map",
+    "set_cache",
+]

@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+import numpy as np
+
 from .energy import EnergyLedger
 from .machine import MachineResult, charge_nest
 from .params import SimParams
@@ -78,11 +80,14 @@ def estimate(meta: ProgramMeta, params: SimParams) -> MachineResult:
     if transfers:
         result.cycles += params.dram.latency_cycles
         result.dae_cycles += params.dram.latency_cycles
-    for nbytes in transfers:
-        cycles = math.ceil(nbytes / bytes_per_cycle)
+        # One vectorized ceil over the whole transfer list; np.ceil on
+        # float64 matches math.ceil of the same float division exactly.
+        cycles = int(np.ceil(
+            np.asarray(transfers, dtype=np.float64) / bytes_per_cycle).sum())
         result.cycles += cycles
         result.dae_cycles += cycles
-        result.energy.dram_pj += nbytes * params.dram.energy_pj_per_byte
+        result.energy.dram_pj += sum(
+            nbytes * params.dram.energy_pj_per_byte for nbytes in transfers)
 
     # Permute engine.
     if meta.permute_words:

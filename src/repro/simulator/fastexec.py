@@ -8,13 +8,27 @@ numpy over the whole iteration grid. This module implements that fast
 path with a hazard check that falls back to the scalar interpreter when
 independence cannot be proven, so results are always identical.
 
+Three writer classes are proven safe (``supported``):
+
+* **injective** destinations (each grid point writes a distinct
+  element) — readers must share the writer's walk;
+* **reductions** (MACC / ADD / MAX / MIN into a duplicated destination)
+  — folded over the duplicated levels; trailing consumers may read the
+  accumulator when their own duplicated levels cover the reduction's,
+  so last-wins stores observe only the fully-reduced value;
+* **streamed temporaries** (any other opcode writing a duplicated
+  destination, e.g. a per-row scalar recomputed at every point of a
+  softmax body) — the full per-point value grid is *forwarded* to later
+  same-walk readers, and memory receives the last point's slice, which
+  is exactly the point-major final state.
+
 Enabled with ``TandemMachine(..., fast=True)``; equivalence against the
 scalar path is asserted by tests.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,12 +54,16 @@ _BINARY = {
     AluFunc.AND: v_and, AluFunc.OR: v_or,
 }
 
-#: Accumulation reducers for read-modify-write destinations.
+#: Accumulation reducers for read-modify-write destinations, with the
+#: combining mode used to prove two same-buffer accumulations commute.
 _REDUCERS = {
     AluFunc.ADD: lambda x, axes: x.sum(axis=axes),
     AluFunc.MAX: lambda x, axes: x.max(axis=axes),
     AluFunc.MIN: lambda x, axes: x.min(axis=axes),
 }
+_REDUCER_MODE = {AluFunc.ADD: "add", AluFunc.MAX: "max", AluFunc.MIN: "min"}
+
+_INJECTIVE, _REDUCTION, _TEMP = "inj", "red", "temp"
 
 
 def _address_grid(entry, counts: Sequence[int]) -> np.ndarray:
@@ -75,6 +93,9 @@ class FastNestExecutor:
         self.counts = [count for _, count in loops] or [1]
         self.body = body
         self.levels = len(self.counts)
+        #: (ns, walk-key) -> full per-point value grid of a streamed
+        #: temporary, consumed by later same-walk loads in this nest.
+        self._fwd: Dict[Tuple, np.ndarray] = {}
 
     # -- legality ----------------------------------------------------------------
     def _entry(self, operand):
@@ -82,65 +103,137 @@ class FastNestExecutor:
 
     def _reads_of(self, inst: Instruction):
         if self.machine._is_unary(inst):
-            return [inst.src1]
-        return [inst.src1, inst.src2]
+            reads = [inst.src1]
+        else:
+            reads = [inst.src1, inst.src2]
+        if inst.opcode == Opcode.ALU and inst.func == int(AluFunc.MACC):
+            # MACC reads its destination as the accumulator.
+            reads.append(inst.dst)
+        return reads
 
-    def _is_duplicate_dst(self, entry) -> bool:
-        return any(
-            count > 1 and (level >= len(entry.strides)
-                           or entry.strides[level] == 0)
-            for level, count in enumerate(self.counts))
+    def _dup_levels(self, entry) -> Tuple[int, ...]:
+        return tuple(
+            level for level, count in enumerate(self.counts)
+            if count > 1 and (level >= len(entry.strides)
+                              or entry.strides[level] == 0))
+
+    def _classify(self, inst: Instruction, dst_entry, dup: Tuple[int, ...]):
+        """Writer class for a duplicated destination, or None if unsafe."""
+        if inst.opcode == Opcode.ALU:
+            func = AluFunc(inst.func)
+            if func == AluFunc.MACC:
+                return (_REDUCTION, "add")
+            if func == AluFunc.COND_MOVE:
+                # Predicated partial writes along duplicated levels keep
+                # a point-order-dependent carry; not expressible here.
+                return None
+            if func in _REDUCER_MODE:
+                src1_entry = self._entry(inst.src1)
+                if (inst.src1.ns, _walk_key(src1_entry, self.levels)) == (
+                        inst.dst.ns, _walk_key(dst_entry, self.levels)):
+                    return (_REDUCTION, _REDUCER_MODE[func])
+        # Every remaining compute opcode overwrites the destination with
+        # a pure function of its sources: a streamed temporary.
+        return (_TEMP, None)
 
     def supported(self) -> bool:
         """Instruction-major == point-major for this nest?
 
-        Safe when, for every (writer, reader) statement pair touching
-        the same buffer, the reader's walk equals the writer's walk and
-        that walk is injective over the iteration grid (each point a
-        distinct element): then the value a point reads is produced by
-        the same ordered predecessor in both schedules. Commutative
-        stride-0 accumulations (ADD/MAX/MIN/MACC into a shared
-        destination) are folded with a reduction instead, provided no
-        other statement reads the partially-accumulated buffer.
+        The proof obligations, per writer class, are spelled out in the
+        module docstring; this routine classifies every statement and
+        rejects the nest on the first unprovable hazard.
         """
         infos = []
         for inst in self.body:
             dst_entry = self._entry(inst.dst)
-            duplicate = self._is_duplicate_dst(dst_entry)
-            infos.append((inst, dst_entry, duplicate))
-            if duplicate:
-                if inst.opcode != Opcode.ALU:
+            dup = self._dup_levels(dst_entry)
+            wclass, mode = _INJECTIVE, None
+            if dup:
+                classified = self._classify(inst, dst_entry, dup)
+                if classified is None:
                     return False
-                func = AluFunc(inst.func)
-                if func == AluFunc.MACC:
+                wclass, mode = classified
+                acc_reads = ([inst.src1] if wclass == _REDUCTION
+                             and inst.opcode == Opcode.ALU
+                             and inst.func != int(AluFunc.MACC) else [])
+                for read in self._reads_of(inst):
+                    if read is None or read is inst.dst or read in acc_reads:
+                        continue
+                    if read.ns == inst.dst.ns and \
+                            self._entry(read).base == dst_entry.base:
+                        # A non-accumulator source aliasing the
+                        # destination makes every point depend on the
+                        # previous point's write.
+                        return False
+            infos.append((inst, dst_entry, dup, wclass, mode))
+
+        # Write-write hazards: two writers of one allocation must be the
+        # same class on the same walk (and commuting, for reductions),
+        # otherwise the final memory state depends on the schedule.
+        for i, (wi, ei, _di, ci, mi) in enumerate(infos):
+            ki = _walk_key(ei, self.levels)
+            for wj, ej, _dj, cj, mj in infos[i + 1:]:
+                if wj.dst.ns != wi.dst.ns or ej.base != ei.base:
                     continue
-                if func not in _REDUCERS:
-                    return False
-                src1_key = _walk_key(self._entry(inst.src1), self.levels)
-                if (inst.src1.ns, src1_key) != (
-                        inst.dst.ns, _walk_key(dst_entry, self.levels)):
+                if _walk_key(ej, self.levels) != ki or cj != ci or mj != mi:
                     return False
 
-        for w, (writer, w_entry, w_dup) in enumerate(infos):
-            w_key = (writer.dst.ns, _walk_key(w_entry, self.levels))
-            for r, (reader, _r_entry, _r_dup) in enumerate(infos):
-                if r == w:
+        # Group writers by allocation; the write-write rules above made
+        # each group homogeneous (one walk, one class, one mode).
+        groups: Dict[Tuple, Dict] = {}
+        for i, (inst, entry, dup, wclass, _mode) in enumerate(infos):
+            group = groups.setdefault((inst.dst.ns, entry.base), {
+                "key": (inst.dst.ns, _walk_key(entry, self.levels)),
+                "class": wclass, "dup": dup, "writers": []})
+            group["writers"].append(i)
+
+        tainted: List[int] = []
+        for r, (reader, _r_entry, r_dup, r_class, _r_mode) in \
+                enumerate(infos):
+            for read in self._reads_of(reader):
+                if read is None:
                     continue
-                for read in self._reads_of(reader):
-                    if read is None or read.ns != writer.dst.ns:
+                read_entry = self._entry(read)
+                group = groups.get((read.ns, read_entry.base))
+                if group is None:
+                    continue  # nothing in this nest writes it
+                if (read.ns, _walk_key(read_entry, self.levels)) != \
+                        group["key"]:
+                    return False  # same buffer, different walk
+                writers = group["writers"]
+                if not group["dup"]:
+                    continue  # injective: any order matches
+                if group["class"] == _REDUCTION:
+                    if r in writers:
+                        # Its own RMW source, or a commuting
+                        # co-accumulation into the same buffer.
                         continue
-                    read_entry = self._entry(read)
-                    read_key = (read.ns, _walk_key(read_entry, self.levels))
-                    if read_key[1][0] != w_key[1][0]:
-                        continue  # disjoint allocations
-                    if w_dup:
-                        # Reading a partially-accumulated buffer is
-                        # schedule-dependent, except the accumulation's
-                        # own read-modify-write source.
-                        if not (r == w and read in (reader.src1, reader.src2)):
-                            return False
-                    elif read_key != w_key:
-                        return False  # same buffer, different walk
+                    # A trailing consumer of the accumulator is only
+                    # final-state-correct after every accumulation, and
+                    # only where its own duplicated levels cover the
+                    # reduction's.
+                    if r < max(writers) or r_class != _TEMP or \
+                            not set(group["dup"]) <= set(r_dup):
+                        return False
+                    tainted.append(r)
+                elif not any(w < r for w in writers):
+                    # Streamed temporary never yet written this point:
+                    # the read would observe the previous point's value
+                    # (a loop-carried dependence). With a prior writer,
+                    # the forwarded grid is exact per-point.
+                    return False
+
+        # A value computed from a fully-reduced accumulator is only
+        # correct at the final point; nobody may consume it in-body.
+        for t in tainted:
+            t_inst, t_entry = infos[t][0], infos[t][1]
+            for x, (other, _e, _d, _c, _m) in enumerate(infos):
+                if x == t:
+                    continue
+                for read in self._reads_of(other):
+                    if read is not None and read.ns == t_inst.dst.ns and \
+                            self._entry(read).base == t_entry.base:
+                        return False
         return True
 
     # -- execution -----------------------------------------------------------------
@@ -148,33 +241,65 @@ class FastNestExecutor:
         for inst in self.body:
             self._execute(inst)
 
+    def _grid(self, entry, counts: Sequence[int]) -> np.ndarray:
+        """Address grid, memoized on the machine per (walk, counts)."""
+        cache = self.machine._grid_cache
+        key = (entry.base, tuple(entry.strides), tuple(counts))
+        grid = cache.get(key)
+        if grid is None:
+            grid = _address_grid(entry, counts)
+            if len(cache) >= 4096:
+                cache.clear()
+            cache[key] = grid
+        return grid
+
     def _load(self, operand) -> np.ndarray:
         entry = self._entry(operand)
-        addr = _address_grid(entry, self.counts)
         pad = self.machine.pads[operand.ns]
+        forwarded = self._fwd.get(
+            (operand.ns, _walk_key(entry, self.levels)))
+        if forwarded is not None:
+            pad.reads += forwarded.size
+            return forwarded
+        addr = self._grid(entry, self.counts)
         pad.reads += addr.size
         return pad.data[addr.reshape(-1)].reshape(addr.shape)
 
-    def _store(self, operand, values: np.ndarray) -> None:
-        entry = self._entry(operand)
-        addr = _address_grid(entry, self.counts)
-        pad = self.machine.pads[operand.ns]
-        pad.writes += addr.size
+    def _cast(self, values: np.ndarray) -> np.ndarray:
         values = w32(values)
         if self.machine.cast_mode is not None:
-            from .alu import cast_value
             bits = {"fxp16": 16, "fxp8": 8, "fxp4": 4}[self.machine.cast_mode]
             lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
             values = np.clip(values, lo, hi)
+        return values
+
+    def _store(self, operand, values: np.ndarray) -> None:
+        entry = self._entry(operand)
+        pad = self.machine.pads[operand.ns]
+        values = self._cast(values)
+        dup = self._dup_levels(entry)
+        if dup:
+            # Streamed temporary: forward the full per-point grid to
+            # later readers; memory keeps the last point's slice (the
+            # point-major final state — duplicate-index fancy assignment
+            # would leave the winner unspecified).
+            full = np.broadcast_to(values, tuple(self.counts))
+            self._fwd[(operand.ns, _walk_key(entry, self.levels))] = full
+            pad.writes += full.size
+            last = full[tuple(-1 if level in dup else slice(None)
+                              for level in range(self.levels))]
+            collapsed = [1 if level in dup else count
+                         for level, count in enumerate(self.counts)]
+            addr = self._grid(entry, collapsed)
+            pad.data[addr.reshape(-1)] = np.asarray(last).reshape(-1)
+            return
+        addr = self._grid(entry, self.counts)
+        pad.writes += addr.size
         pad.data[addr.reshape(-1)] = np.broadcast_to(
             values, addr.shape).reshape(-1)
 
     def _reduced_axes(self, operand) -> Tuple[int, ...]:
-        entry = self._entry(operand)
-        return tuple(
-            level for level, count in enumerate(self.counts)
-            if count > 1 and (level >= len(entry.strides)
-                              or entry.strides[level] == 0))
+        return self._dup_levels(self._entry(operand))
 
     def _execute(self, inst: Instruction) -> None:
         machine = self.machine
@@ -211,7 +336,7 @@ class FastNestExecutor:
         if func == AluFunc.COND_MOVE:
             flags = self._load(inst.src2) != 0
             entry = self._entry(inst.dst)
-            addr = _address_grid(entry, self.counts).reshape(-1)
+            addr = self._grid(entry, self.counts).reshape(-1)
             values = np.broadcast_to(self._load(inst.src1),
                                      tuple(self.counts)).reshape(-1)
             mask = np.broadcast_to(flags, tuple(self.counts)).reshape(-1)
@@ -227,7 +352,10 @@ class FastNestExecutor:
             current = self._load_reduced(inst.dst, reduced)
             self._store_reduced(inst.dst, w32(current + summed), reduced)
             return
-        if reduced and func in _REDUCERS:
+        if reduced and func in _REDUCERS and (
+                inst.src1.ns, _walk_key(self._entry(inst.src1),
+                                        self.levels)) == (
+                inst.dst.ns, _walk_key(self._entry(inst.dst), self.levels)):
             # Read-modify-write accumulation: combine src2 over the
             # reduced axes, seeded with the current destination values.
             src2 = self._load(inst.src2)
@@ -253,7 +381,7 @@ class FastNestExecutor:
         entry = self._entry(operand)
         counts = [1 if level in reduced else count
                   for level, count in enumerate(self.counts)]
-        addr = _address_grid(entry, counts)
+        addr = self._grid(entry, counts)
         pad = self.machine.pads[operand.ns]
         pad.reads += addr.size
         return pad.data[addr.reshape(-1)].reshape(
@@ -265,12 +393,8 @@ class FastNestExecutor:
         entry = self._entry(operand)
         counts = [1 if level in reduced else count
                   for level, count in enumerate(self.counts)]
-        addr = _address_grid(entry, counts)
+        addr = self._grid(entry, counts)
         pad = self.machine.pads[operand.ns]
         pad.writes += addr.size
-        values = w32(values)
-        if self.machine.cast_mode is not None:
-            bits = {"fxp16": 16, "fxp8": 8, "fxp4": 4}[self.machine.cast_mode]
-            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
-            values = np.clip(values, lo, hi)
+        values = self._cast(values)
         pad.data[addr.reshape(-1)] = values.reshape(-1)

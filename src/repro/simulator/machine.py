@@ -176,6 +176,9 @@ class TandemMachine:
                                     tp.frequency_hz)
         self.cast_mode: Optional[str] = None
         self._permute_config: Dict[str, list] = {"shape": [], "perm": []}
+        #: Address-grid memo for the fast path, keyed on
+        #: (base, strides, counts); grids are read-only once built.
+        self._grid_cache: Dict[Tuple, np.ndarray] = {}
 
     # -- public API -----------------------------------------------------------
     def run(self, program: TandemProgram,

@@ -26,7 +26,8 @@ Timing rules (Section 4.1, Figure 9):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import List, Sequence, Tuple
 
 from .params import TandemParams, VpuOverlay
@@ -73,9 +74,20 @@ def nest_points(counts: Sequence[int]) -> int:
 
 def nest_timing(counts: Sequence[int], body: Sequence[BodyOpMeta],
                 params: TandemParams, overlay: VpuOverlay) -> NestTiming:
-    """Time one loop nest of ``body`` instructions over ``counts`` levels."""
+    """Time one loop nest of ``body`` instructions over ``counts`` levels.
+
+    Purely a function of its (hashable) arguments, so results are
+    memoized — analytic sweeps re-time identical nests across tiles,
+    blocks and models. Callers receive a private copy they may mutate.
+    """
+    return replace(_nest_timing(tuple(counts), tuple(body), params, overlay))
+
+
+@lru_cache(maxsize=65536)
+def _nest_timing(counts: Tuple[int, ...], body: Tuple[BodyOpMeta, ...],
+                 params: TandemParams, overlay: VpuOverlay) -> NestTiming:
     if not counts:
-        counts = [1]
+        counts = (1,)
     inner = counts[-1]
     outer = nest_points(counts[:-1])
     points = outer * inner
@@ -107,9 +119,12 @@ def nest_timing(counts: Sequence[int], body: Sequence[BodyOpMeta],
 
     if overlay.conventional_loops:
         # increment + compare + branch per (vectorized) innermost
-        # iteration, plus the same bookkeeping at each outer-level wrap.
-        wraps = sum(nest_points(counts[:level + 1])
-                    for level in range(len(counts) - 1))
+        # iteration, plus the same bookkeeping at each outer-level wrap
+        # (a running prefix product over the levels).
+        wraps, prefix = 0, 1
+        for count in counts[:-1]:
+            prefix *= count
+            wraps += prefix
         timing.loop_branch_cycles = (
             VpuOverlay.LOOP_BRANCH_INSTS * (vector_chunks + wraps)
         )

@@ -5,6 +5,19 @@ import pytest
 
 from repro.models import MODEL_ORDER, build_model
 from repro.npu import NPUTandem
+from repro.runtime import EvalCache, set_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_eval_cache(tmp_path_factory):
+    """Point the runtime cache at a session-private directory.
+
+    Keeps tests hermetic (no reuse of a developer's ``.repro_cache``)
+    and keeps test artifacts out of the working tree.
+    """
+    set_cache(EvalCache(directory=tmp_path_factory.mktemp("repro_cache")))
+    yield
+    set_cache(None)
 
 
 @pytest.fixture(scope="session")

@@ -100,6 +100,70 @@ def test_where_agrees(rng):
     })
 
 
+# ---------------------------------------------------------------------------
+# Shapes newly covered by the widened hazard checker: streamed recipe
+# temporaries (softmax's i-exp chain), reductions with trailing
+# consumers, and LayerNorm-style ReduceMean chains.
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("shape", [(1, 64), (7, 33), (13, 96)], ids=str)
+def test_softmax_streamed_temps_agree(shape, rng):
+    b = GraphBuilder("t")
+    x = b.input("x", shape, dtype="int32")
+    graph = b.finish([b.softmax(x)])
+    _assert_modes_agree(graph, {"x": rng.integers(-500, 500, shape)})
+
+
+@pytest.mark.parametrize("keepdims", [True, False])
+def test_reduce_mean_agrees(keepdims, rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (6, 32), dtype="int32")
+    graph = b.finish([b.reduce_mean(x, axis=-1, keepdims=keepdims)])
+    _assert_modes_agree(graph, {"x": rng.integers(-200, 200, (6, 32))})
+
+
+def test_reduce_mean_chain_agrees(rng):
+    # The LayerNorm front half: a reduction whose result feeds a
+    # broadcast consumer, as in the paper's GPT-2 hot path.
+    b = GraphBuilder("t")
+    x = b.input("x", (6, 32), dtype="int32")
+    mean = b.reduce_mean(x, axis=-1, keepdims=True)
+    graph = b.finish([b.sub(x, mean)])
+    _assert_modes_agree(graph, {"x": rng.integers(-200, 200, (6, 32))})
+
+
+def test_avgpool_agrees(rng):
+    b = GraphBuilder("t")
+    x = b.input("x", (1, 4, 9, 9), dtype="int32")
+    graph = b.finish([b.avgpool(x, 3, 2, pad=1)])
+    _assert_modes_agree(graph, {"x": rng.integers(-200, 200, (1, 4, 9, 9))})
+
+
+@pytest.mark.parametrize("op", ["softmax", "gelu", "sigmoid", "tanh"])
+def test_emerging_ops_take_fast_path(op, rng, monkeypatch):
+    """The hazard checker must accept every nest in these programs.
+
+    Softmax in particular streams its exp-recipe temporaries and
+    re-accumulates into reduction registers; before the checker learned
+    those patterns it fell back to the scalar interpreter.
+    """
+    from repro.simulator.fastexec import FastNestExecutor
+    outcomes = []
+    original = FastNestExecutor.supported
+
+    def spy(self):
+        ok = original(self)
+        outcomes.append(ok)
+        return ok
+
+    monkeypatch.setattr(FastNestExecutor, "supported", spy)
+    b = GraphBuilder("t")
+    x = b.input("x", (5, 23), dtype="int32")
+    graph = b.finish([getattr(b, op)(x)])
+    _outputs(graph, {"x": rng.integers(-400, 400, (5, 23))}, fast=True)
+    assert outcomes, "fast path was never consulted"
+    assert all(outcomes), f"{outcomes.count(False)} nests fell back"
+
+
 def test_fast_mode_actually_faster_on_large_nests(rng):
     import time
     b = GraphBuilder("t")

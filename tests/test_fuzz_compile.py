@@ -103,6 +103,30 @@ def test_random_conv_block_bit_exact(channels, size, seed):
 
 
 @settings(max_examples=20, deadline=None)
+@given(st.integers(2, 6), st.integers(4, 24), st.integers(0, 2 ** 16),
+       st.booleans())
+def test_random_reduction_chain_bit_exact(rows, cols, seed, end_softmax):
+    """Reduction-into-broadcast chains exercise the widened fast path:
+    streamed recipe temporaries plus accumulators with trailing
+    consumers must stay bit-exact in both execution modes."""
+    rng = np.random.default_rng(seed)
+    b = GraphBuilder("fuzz-red")
+    x = b.input("x", (rows, cols), dtype="int32")
+    mean = b.reduce_mean(x, axis=-1, keepdims=True)
+    centered = b.sub(x, mean)
+    out = b.softmax(centered) if end_softmax else centered
+    graph = b.finish([out])
+    data = rng.integers(-400, 400, (rows, cols))
+    reference = ReferenceExecutor(graph).run({"x": data})
+    for fast in (False, True):
+        runner = FunctionalRunner(compile_model(graph), fast=fast)
+        outputs = runner.run({"x": data})
+        np.testing.assert_array_equal(outputs[graph.graph_outputs[0]],
+                                      reference[graph.graph_outputs[0]],
+                                      err_msg=f"fast={fast}")
+
+
+@settings(max_examples=20, deadline=None)
 @given(st.lists(st.integers(1, 8), min_size=2, max_size=4),
        st.integers(0, 2 ** 16))
 def test_random_transpose_chain_bit_exact(shape, seed):
