@@ -21,6 +21,7 @@ from repro.compiler import TEMPLATES, run_recipe
 from repro.compiler.integer_ops import FRAC_BITS, Step, UNARY_RECIPES
 from repro.compiler.reference import ReferenceExecutor as _Ref
 from repro.graph import OpClass, OpInfo, is_registered, ops
+from repro.runtime import seeded_rng
 
 
 def hardswish_recipe(frac_bits: int = FRAC_BITS):
@@ -59,7 +60,7 @@ def main() -> None:
     graph = b.finish([y])
 
     model = compile_model(graph)
-    rng = np.random.default_rng(7)
+    rng = seeded_rng("example-hardswish")
     data = rng.integers(-1024, 1024, (1, 8, 12, 12))
 
     runner = FunctionalRunner(model)

@@ -12,11 +12,12 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import FunctionalRunner, ReferenceExecutor, compile_model
+from repro.runtime import seeded_rng
 from repro.models import build_tinynet
 
 
 def main() -> None:
-    rng = np.random.default_rng(2024)
+    rng = seeded_rng("example-quickstart")
     graph = build_tinynet()
     model = compile_model(graph)
 

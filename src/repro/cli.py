@@ -15,6 +15,8 @@ Commands:
 * ``trace MODEL`` — ASCII timeline of the software-pipelined execution.
 * ``cache {stats,clear,path}`` — inspect or drop the content-addressed
   evaluation cache (``.repro_cache``; see :mod:`repro.runtime.cache`).
+* ``serve --model M --devices N --rate R`` — simulate a serving fleet
+  of NPU-Tandem devices under load (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -147,6 +149,57 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serving import (
+        AdmissionPolicy,
+        BatchPolicy,
+        ClosedLoop,
+        FleetSimulator,
+        OpenLoopPoisson,
+        ServiceCosts,
+    )
+    models = [m.strip() for m in args.model.split(",") if m.strip()]
+    config_rows = [
+        ("models", "+".join(models)),
+        ("devices", args.devices),
+        ("batch policy", f"{args.batch_policy} (max_batch={args.max_batch}, "
+                         f"wait={args.max_wait_ms}ms)"),
+        ("routing", args.routing),
+        ("workload", "closed-loop" if args.closed_loop else
+                     f"open-loop poisson @ {args.rate} req/s"),
+        ("duration (s)", args.duration),
+        ("admission max queue", args.max_queue),
+        ("SLO multiplier", args.slo_multiplier),
+    ]
+    if args.dry_run:
+        print(render_table(("parameter", "value"), config_rows,
+                           title="serve --dry-run (no simulation)"))
+        return 0
+    costs = ServiceCosts.resolve(models)
+    if args.closed_loop:
+        workload = ClosedLoop(models, clients=args.clients,
+                              duration_s=args.duration,
+                              think_s=args.think_ms * 1e-3)
+        rate = 0.0
+    else:
+        workload = OpenLoopPoisson(models, args.rate, args.duration)
+        rate = args.rate
+    sim = FleetSimulator(
+        costs, devices=args.devices,
+        batch_policy=BatchPolicy(args.batch_policy, args.max_batch,
+                                 args.max_wait_ms),
+        admission=AdmissionPolicy(args.max_queue),
+        routing=args.routing,
+        slo_multiplier=args.slo_multiplier)
+    report = sim.run(workload, rate_rps=rate)
+    print(report.table())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -187,6 +240,38 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser("cache", help="inspect/clear the eval cache")
     cache.add_argument("action", choices=("stats", "clear", "path"),
                        nargs="?", default="stats")
+
+    from .serving import BATCH_POLICIES, ROUTING_POLICIES
+    serve = sub.add_parser("serve", help="simulate a serving fleet")
+    serve.add_argument("--model", default="bert",
+                       help="zoo model, or comma-separated mix")
+    serve.add_argument("--devices", type=int, default=4,
+                       help="fleet size (replicated NPU-Tandem devices)")
+    serve.add_argument("--rate", type=float, default=100.0,
+                       help="open-loop offered rate (req/s)")
+    serve.add_argument("--duration", type=float, default=5.0,
+                       help="simulated traffic horizon (s)")
+    serve.add_argument("--batch-policy", choices=BATCH_POLICIES,
+                       default="dynamic")
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="dynamic batching hold time")
+    serve.add_argument("--routing", choices=ROUTING_POLICIES,
+                       default="least_loaded")
+    serve.add_argument("--max-queue", type=int, default=256,
+                       help="per-device admission limit")
+    serve.add_argument("--slo-multiplier", type=float, default=10.0,
+                       help="SLO = multiplier x isolated model latency")
+    serve.add_argument("--closed-loop", action="store_true",
+                       help="closed-loop clients instead of Poisson")
+    serve.add_argument("--clients", type=int, default=32,
+                       help="closed-loop client count")
+    serve.add_argument("--think-ms", type=float, default=1.0,
+                       help="closed-loop think time")
+    serve.add_argument("--json", metavar="FILE",
+                       help="also write the report as JSON")
+    serve.add_argument("--dry-run", action="store_true",
+                       help="print the configuration and exit")
     return parser
 
 
@@ -198,6 +283,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "trace": cmd_trace,
     "cache": cmd_cache,
+    "serve": cmd_serve,
 }
 
 

@@ -648,6 +648,59 @@ def fig25_energy_breakdown() -> Experiment:
                             "other"), rows))
 
 
+# ---------------------------------------------------------------------------
+# Serving (beyond the paper: the datacenter SLO regime of Jouppi et al.)
+# ---------------------------------------------------------------------------
+@experiment("serving_sweep")
+def serving_sweep() -> Experiment:
+    """Latency-throughput knee over batch policy x fleet size x rate.
+
+    No paper counterpart to compare numbers against; the "paper" column
+    carries the qualitative expectations from the TPU paper's
+    99th-percentile-SLO argument: p99 blows up superlinearly past
+    saturation, larger fleets move the knee right, and dynamic batching
+    beats single-request serving at high load.
+    """
+    from ..runtime import default_jobs
+    from ..serving import (
+        by_config,
+        default_grid,
+        knee_sharpness,
+        max_throughput_at_slo,
+        run_sweep,
+        sweep_table,
+    )
+    reports = run_sweep(default_grid(), jobs=default_jobs())
+    ladders = by_config(reports)
+    capacity = {fleet: max_throughput_at_slo(ladders[("dynamic", fleet)])
+                for fleet in (1, 2, 4)}
+    knee = knee_sharpness(ladders[("dynamic", 1)])
+    peak_rate_single = ladders[("single", 1)][-1]
+    peak_rate_dynamic = ladders[("dynamic", 1)][-1]
+    summary = {
+        "p99_superlinear_past_saturation (knee sharpness > 1)": (
+            True, knee > 1.0),
+        "fleet2_sustains_more_than_fleet1_at_slo": (
+            True, capacity[2] > capacity[1]),
+        "fleet4_sustains_more_than_fleet2_at_slo": (
+            True, capacity[4] > capacity[2]),
+        "dynamic_batching_outserves_single_at_peak_load": (
+            True,
+            peak_rate_dynamic.throughput_rps
+            > peak_rate_single.throughput_rps),
+        "max_throughput_at_slo_fleet4_rps (ideal 4x of fleet1)": (
+            4 * capacity[1], capacity[4]),
+    }
+    return Experiment(
+        id="serving_sweep",
+        title="Serving: latency-throughput knee across fleet sizes",
+        summary=summary,
+        table=sweep_table(reports),
+        notes=f"knee sharpness (dynamic, 1 device): {knee:.2f}; "
+              f"SLO-capacity req/s by fleet size: "
+              f"{ {k: round(v, 1) for k, v in capacity.items()} }")
+
+
 @experiment("fig26")
 def fig26_area() -> Experiment:
     breakdown = analysis.tandem_area()

@@ -10,6 +10,9 @@ disciplines the ROADMAP asks for:
   by structural fingerprints of the graph and the design parameters.
 * :mod:`repro.runtime.parallel` — a deterministic ``concurrent.futures``
   fan-out over (model x design-point) work items with a serial fallback.
+* :mod:`repro.runtime.seed` — the ``REPRO_SEED`` discipline: every RNG
+  in the repository derives from one environment seed plus stable
+  stream labels, so stochastic runs replay exactly.
 """
 
 from .cache import (
@@ -24,10 +27,12 @@ from .cache import (
     set_cache,
 )
 from .parallel import default_jobs, parallel_map
+from .seed import DEFAULT_SEED, repro_seed, seeded_rng
 
 __all__ = [
     "CACHE_EPOCH",
     "CacheStats",
+    "DEFAULT_SEED",
     "EvalCache",
     "cached_evaluate",
     "default_jobs",
@@ -36,5 +41,7 @@ __all__ = [
     "graph_fingerprint",
     "object_fingerprint",
     "parallel_map",
+    "repro_seed",
+    "seeded_rng",
     "set_cache",
 ]

@@ -1,0 +1,86 @@
+"""Serving layer: a multi-device NPU-Tandem fleet simulator.
+
+Layers a discrete-event serving simulation on top of the ``npu`` /
+``runtime`` stack: load generators (:mod:`~repro.serving.workload`),
+admission control + dynamic batching (:mod:`~repro.serving.scheduler`),
+a routed device fleet (:mod:`~repro.serving.fleet`), SLO metrics
+(:mod:`~repro.serving.metrics`) and the ``serving_sweep`` grid
+(:mod:`~repro.serving.sweep`). Entry points: ``python -m repro serve``
+and the ``serving_sweep`` harness experiment.
+"""
+
+from .fleet import (
+    ROUTING_POLICIES,
+    DeviceState,
+    FleetSimulator,
+    Router,
+    simulate,
+)
+from .metrics import (
+    DEFAULT_SLO_MULTIPLIER,
+    MetricsCollector,
+    ServingReport,
+    percentile,
+)
+from .scheduler import (
+    BATCH_POLICIES,
+    AdmissionPolicy,
+    BatchPolicy,
+    Launch,
+    ModelCost,
+    ServiceCosts,
+    Wait,
+    plan_batch,
+)
+from .sweep import (
+    SweepPoint,
+    by_config,
+    default_grid,
+    knee_sharpness,
+    max_throughput_at_slo,
+    run_point,
+    run_sweep,
+    sweep_table,
+)
+from .workload import (
+    ClosedLoop,
+    OpenLoopPoisson,
+    Request,
+    TraceReplay,
+    Workload,
+    zoo_mix_trace,
+)
+
+__all__ = [
+    "BATCH_POLICIES",
+    "DEFAULT_SLO_MULTIPLIER",
+    "ROUTING_POLICIES",
+    "AdmissionPolicy",
+    "BatchPolicy",
+    "ClosedLoop",
+    "DeviceState",
+    "FleetSimulator",
+    "Launch",
+    "MetricsCollector",
+    "ModelCost",
+    "OpenLoopPoisson",
+    "Request",
+    "Router",
+    "ServiceCosts",
+    "ServingReport",
+    "SweepPoint",
+    "TraceReplay",
+    "Wait",
+    "Workload",
+    "by_config",
+    "default_grid",
+    "knee_sharpness",
+    "max_throughput_at_slo",
+    "percentile",
+    "plan_batch",
+    "run_point",
+    "run_sweep",
+    "simulate",
+    "sweep_table",
+    "zoo_mix_trace",
+]

@@ -1,0 +1,190 @@
+"""Serving metrics: latency percentiles, utilization, SLO attainment.
+
+The collector receives completion/rejection callbacks from the fleet
+event loop and reduces them to a :class:`ServingReport`: throughput,
+p50/p95/p99 latency, queue depth, device utilization and SLO
+attainment, renderable as a fixed-width table (via
+:func:`repro.harness.report.render_table`) or exportable as JSON.
+
+SLO targets are per model: ``max(min_slo_s, slo_multiplier x isolated
+latency)``, i.e. a request meets its SLO when end-to-end latency stays
+within a fixed multiple of the model's unloaded service time. Rejected
+requests count as SLO violations — shedding load does not launder the
+attainment number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .scheduler import ServiceCosts
+from .workload import Request
+
+DEFAULT_SLO_MULTIPLIER = 10.0
+DEFAULT_MIN_SLO_S = 1e-3
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    count = len(sorted_values)
+    rank = -(-q * count // 100)  # ceil(q/100 * count)
+    rank = min(count, max(1, int(rank)))
+    return sorted_values[rank - 1]
+
+
+@dataclass
+class ServingReport:
+    """One simulation's results (plain data; picklable, JSON-able)."""
+    # -- configuration echo -------------------------------------------------
+    models: Tuple[str, ...]
+    devices: int
+    batch_policy: str
+    max_batch: int
+    max_wait_ms: float
+    routing: str
+    rate_rps: float                 # offered rate (0 for closed loop)
+    duration_s: float
+    # -- outcomes -----------------------------------------------------------
+    offered: int = 0
+    completed: int = 0
+    rejected: int = 0
+    makespan_s: float = 0.0
+    throughput_rps: float = 0.0
+    mean_latency_ms: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_queue_depth: float = 0.0
+    max_queue_depth: int = 0
+    mean_batch_size: float = 0.0
+    device_utilization: float = 0.0
+    per_device_utilization: List[float] = field(default_factory=list)
+    compiles: int = 0
+    slo_multiplier: float = DEFAULT_SLO_MULTIPLIER
+    slo_ms: Dict[str, float] = field(default_factory=dict)
+    slo_attainment: float = 0.0
+
+    def as_dict(self) -> Dict:
+        payload = dataclasses.asdict(self)
+        payload["models"] = list(self.models)
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def table(self) -> str:
+        from ..harness.report import render_table
+        slo = ", ".join(f"{m} {ms:.2f}ms" for m, ms in self.slo_ms.items())
+        rows = [
+            ("models", "+".join(self.models)),
+            ("devices", self.devices),
+            ("batch policy", f"{self.batch_policy} (max_batch="
+                             f"{self.max_batch}, wait={self.max_wait_ms}ms)"),
+            ("routing", self.routing),
+            ("offered requests", self.offered),
+            ("completed", self.completed),
+            ("rejected", self.rejected),
+            ("throughput (req/s)", self.throughput_rps),
+            ("mean latency (ms)", self.mean_latency_ms),
+            ("p50 latency (ms)", self.p50_ms),
+            ("p95 latency (ms)", self.p95_ms),
+            ("p99 latency (ms)", self.p99_ms),
+            ("mean/max queue depth", f"{self.mean_queue_depth:.2f} / "
+                                     f"{self.max_queue_depth}"),
+            ("mean batch size", self.mean_batch_size),
+            ("device utilization", self.device_utilization),
+            ("first-touch compiles", self.compiles),
+            ("SLO target", slo or "(none)"),
+            ("SLO attainment", self.slo_attainment),
+        ]
+        title = (f"serving: {'+'.join(self.models)} on {self.devices} "
+                 f"device(s), {self.batch_policy} batching")
+        return render_table(("metric", "value"), rows, title=title)
+
+
+class MetricsCollector:
+    """Accumulates per-request outcomes during one simulation."""
+
+    def __init__(self, costs: ServiceCosts,
+                 slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
+                 min_slo_s: float = DEFAULT_MIN_SLO_S):
+        self.costs = costs
+        self.slo_multiplier = slo_multiplier
+        self.slo_s = {m: max(min_slo_s,
+                             slo_multiplier * costs.latency_s(m))
+                      for m in costs.models()}
+        self.latencies_ms: List[float] = []
+        self.offered = 0
+        self.rejected = 0
+        self.slo_met = 0
+        self.batches: List[int] = []
+        self.queue_samples: List[int] = []
+        self.max_queue = 0
+        self.compiles = 0
+        self.last_finish_s = 0.0
+
+    def note_arrival(self, fleet_queue_depth: int) -> None:
+        self.offered += 1
+        self.queue_samples.append(fleet_queue_depth)
+        self.max_queue = max(self.max_queue, fleet_queue_depth)
+
+    def note_reject(self, request: Request, now_s: float) -> None:
+        self.rejected += 1
+
+    def note_batch(self, size: int) -> None:
+        self.batches.append(size)
+
+    def note_complete(self, request: Request, finish_s: float) -> None:
+        latency_s = finish_s - request.arrival_s
+        self.latencies_ms.append(latency_s * 1e3)
+        if latency_s <= self.slo_s[request.model]:
+            self.slo_met += 1
+        self.last_finish_s = max(self.last_finish_s, finish_s)
+
+    def report(self, *, models: Tuple[str, ...], devices: int,
+               batch_policy: str, max_batch: int, max_wait_ms: float,
+               routing: str, rate_rps: float, duration_s: float,
+               busy_s: List[float]) -> ServingReport:
+        latencies = sorted(self.latencies_ms)
+        completed = len(latencies)
+        makespan = max(self.last_finish_s, duration_s)
+        horizon = makespan if makespan > 0 else 1.0
+        return ServingReport(
+            models=models,
+            devices=devices,
+            batch_policy=batch_policy,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            routing=routing,
+            rate_rps=rate_rps,
+            duration_s=duration_s,
+            offered=self.offered,
+            completed=completed,
+            rejected=self.rejected,
+            makespan_s=makespan,
+            throughput_rps=completed / horizon,
+            mean_latency_ms=(sum(latencies) / completed
+                             if completed else 0.0),
+            p50_ms=percentile(latencies, 50),
+            p95_ms=percentile(latencies, 95),
+            p99_ms=percentile(latencies, 99),
+            mean_queue_depth=(sum(self.queue_samples)
+                              / len(self.queue_samples)
+                              if self.queue_samples else 0.0),
+            max_queue_depth=self.max_queue,
+            mean_batch_size=(sum(self.batches) / len(self.batches)
+                             if self.batches else 0.0),
+            device_utilization=(sum(busy_s) / (len(busy_s) * horizon)
+                                if busy_s else 0.0),
+            per_device_utilization=[b / horizon for b in busy_s],
+            compiles=self.compiles,
+            slo_multiplier=self.slo_multiplier,
+            slo_ms={m: s * 1e3 for m, s in self.slo_s.items()},
+            slo_attainment=(self.slo_met / self.offered
+                            if self.offered else 0.0),
+        )

@@ -1,0 +1,156 @@
+"""Admission control, dynamic batching, and the device service model.
+
+The batcher is a pure decision function over ``(device queue, clock)``:
+given the FIFO queue of one device it either launches a batch now or
+names the deadline to wait for. Keeping it side-effect free makes the
+policies unit-testable and keeps the event loop in
+:mod:`repro.serving.fleet` trivial.
+
+Service times come from :class:`ServiceCosts`, resolved once per sweep
+from the content-cached :meth:`repro.npu.NPUTandem.evaluate` /
+:meth:`~repro.npu.NPUTandem.compile` numbers and then frozen to plain
+data — picklable, so ``--jobs`` workers never re-evaluate models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from .workload import Request
+
+#: Batching disciplines, in increasing sophistication:
+#: ``single`` serves one request per launch; ``greedy`` takes whatever
+#: same-model requests are already queued (up to ``max_batch``) without
+#: waiting; ``dynamic`` additionally holds the head request up to
+#: ``max_wait_ms`` hoping to fill the batch.
+BATCH_POLICIES = ("single", "greedy", "dynamic")
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    kind: str = "dynamic"
+    max_batch: int = 8
+    max_wait_ms: float = 2.0
+
+    def __post_init__(self):
+        if self.kind not in BATCH_POLICIES:
+            raise ValueError(f"unknown batch policy {self.kind!r}; "
+                             f"known: {', '.join(BATCH_POLICIES)}")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+
+    @property
+    def effective_max_batch(self) -> int:
+        return 1 if self.kind == "single" else self.max_batch
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Reject arrivals once a device's queue is this deep (load shedding)."""
+    max_queue: int = 256
+
+
+@dataclass(frozen=True)
+class Launch:
+    """Launch the first ``count`` queued requests as one batch."""
+    count: int
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Hold the queue until ``until_s`` (or an earlier arrival/free)."""
+    until_s: float
+
+
+def plan_batch(queue: Sequence[Request], now_s: float,
+               policy: BatchPolicy) -> Optional[object]:
+    """Decide what an idle device should do with its queue at ``now_s``.
+
+    Returns :class:`Launch`, :class:`Wait`, or ``None`` for an empty
+    queue. Batches are same-model FIFO prefixes — requests for a second
+    model never jump ahead of the head request.
+    """
+    if not queue:
+        return None
+    head = queue[0]
+    limit = policy.effective_max_batch
+    count = 0
+    for request in queue:
+        if request.model != head.model or count >= limit:
+            break
+        count += 1
+    if count >= limit or policy.kind in ("single", "greedy"):
+        return Launch(count)
+    deadline = head.arrival_s + policy.max_wait_ms * 1e-3
+    if now_s >= deadline:
+        return Launch(count)
+    return Wait(deadline)
+
+
+# ---------------------------------------------------------------------------
+# Service model
+# ---------------------------------------------------------------------------
+#: Fraction of a model's isolated latency that is per-invocation
+#: overhead (weight residency establishment, dispatch, sync weaving)
+#: rather than per-request compute; batching amortizes exactly this
+#: share, so the asymptotic batching speedup is 1/(1-fraction).
+DEFAULT_AMORTIZED_FRACTION = 0.35
+
+#: Compile-penalty proxy: host-side lowering plus program download,
+#: charged the first time a device serves a model whose compiled
+#: program is not yet resident (the per-device "compile cache").
+COMPILE_BASE_S = 50e-6
+COMPILE_PER_INSTRUCTION_S = 0.5e-6
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    latency_s: float       # isolated batch-1 latency (NPUTandem.evaluate)
+    compile_s: float       # first-touch compile + program-download cost
+
+
+@dataclass(frozen=True)
+class ServiceCosts:
+    """Frozen per-model service costs (plain data, picklable)."""
+    costs: Dict[str, ModelCost] = field(default_factory=dict)
+    amortized_fraction: float = DEFAULT_AMORTIZED_FRACTION
+
+    @classmethod
+    def resolve(cls, models: Sequence[str], npu=None,
+                amortized_fraction: float = DEFAULT_AMORTIZED_FRACTION,
+                ) -> "ServiceCosts":
+        """Evaluate/compile each model once (content-cached) and freeze."""
+        from ..npu import NPUTandem
+        npu = npu or NPUTandem()
+        costs = {}
+        for model in dict.fromkeys(models):
+            latency = npu.evaluate(model).total_seconds
+            instructions = npu.compile(model).total_instructions()
+            compile_s = (COMPILE_BASE_S
+                         + COMPILE_PER_INSTRUCTION_S * instructions)
+            costs[model] = ModelCost(latency, compile_s)
+        return cls(costs=costs, amortized_fraction=amortized_fraction)
+
+    def models(self) -> Tuple[str, ...]:
+        return tuple(self.costs)
+
+    def latency_s(self, model: str) -> float:
+        return self.costs[model].latency_s
+
+    def compile_s(self, model: str) -> float:
+        return self.costs[model].compile_s
+
+    def batch_service_s(self, model: str, batch: int) -> float:
+        """Service time for one batch: fixed overhead + linear compute.
+
+        ``service(1)`` equals the isolated latency; the amortized
+        fraction is charged once per launch instead of once per request.
+        """
+        latency = self.costs[model].latency_s
+        fixed = self.amortized_fraction * latency
+        return fixed + (latency - fixed) * batch
+
+    def capacity_rps(self, model: str, max_batch: int) -> float:
+        """Saturation throughput of one device at full batches."""
+        return max_batch / self.batch_service_s(model, max_batch)

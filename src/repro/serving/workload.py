@@ -1,0 +1,137 @@
+"""Load generators for the serving simulator.
+
+Three request sources, all pure functions of their parameters under the
+shared ``REPRO_SEED`` discipline (:mod:`repro.runtime.seed`):
+
+* :class:`OpenLoopPoisson` — open-loop arrivals with exponential
+  inter-arrival times at a fixed offered rate; arrivals do not react to
+  the system (the datacenter "heavy traffic" regime).
+* :class:`ClosedLoop` — N clients that each keep exactly one request in
+  flight, issuing the next one ``think_s`` after the previous response;
+  the arrival rate self-limits to what the fleet sustains.
+* :class:`TraceReplay` — replays an explicit ``(arrival_s, model)``
+  trace, e.g. a recorded mix over the 7 zoo entries
+  (:func:`zoo_mix_trace`).
+
+The simulator drives a workload through two hooks: :meth:`initial`
+yields the requests known up front, and :meth:`on_complete` lets
+closed-loop clients react to their own completions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..runtime import seeded_rng
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request against a zoo model."""
+    rid: int
+    model: str
+    arrival_s: float
+    client: int = -1
+
+
+class Workload:
+    """Base protocol: pre-known arrivals + a completion feedback hook."""
+
+    #: Nominal traffic horizon; metrics normalize throughput against it.
+    duration_s: float = 0.0
+
+    def initial(self) -> List[Request]:
+        raise NotImplementedError
+
+    def on_complete(self, request: Request,
+                    finish_s: float) -> Optional[Request]:
+        """Next request triggered by this completion (closed loop only)."""
+        return None
+
+
+class OpenLoopPoisson(Workload):
+    """Open-loop Poisson arrivals over a fixed model mix.
+
+    Models are drawn uniformly from ``models`` per request (a single
+    entry gives a single-model stream). The stream is fully determined
+    by ``(REPRO_SEED, models, rate_rps, duration_s, stream)``.
+    """
+
+    def __init__(self, models: Sequence[str], rate_rps: float,
+                 duration_s: float, stream: object = 0):
+        if rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+        self.models = tuple(models)
+        self.rate_rps = float(rate_rps)
+        self.duration_s = float(duration_s)
+        rng = seeded_rng("poisson", self.models, self.rate_rps,
+                         self.duration_s, stream)
+        requests: List[Request] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rate_rps))
+            if t >= self.duration_s:
+                break
+            model = self.models[int(rng.integers(len(self.models)))]
+            requests.append(Request(len(requests), model, t))
+        self._requests = requests
+
+    def initial(self) -> List[Request]:
+        return list(self._requests)
+
+
+class ClosedLoop(Workload):
+    """``clients`` concurrent clients, one outstanding request each.
+
+    Client ``c`` always requests ``models[c % len(models)]``; its next
+    request arrives ``think_s`` after (and never before) its previous
+    response. Initial arrivals are staggered by one think time spread
+    evenly so clients do not all hit an empty fleet at t=0.
+    """
+
+    def __init__(self, models: Sequence[str], clients: int,
+                 duration_s: float, think_s: float = 0.0):
+        if clients <= 0:
+            raise ValueError(f"clients must be positive, got {clients}")
+        self.models = tuple(models)
+        self.clients = clients
+        self.duration_s = float(duration_s)
+        self.think_s = float(think_s)
+        self._next_rid = clients
+
+    def initial(self) -> List[Request]:
+        stagger = self.think_s / self.clients if self.think_s else 0.0
+        return [Request(c, self.models[c % len(self.models)], c * stagger,
+                        client=c)
+                for c in range(self.clients)]
+
+    def on_complete(self, request: Request,
+                    finish_s: float) -> Optional[Request]:
+        arrival = finish_s + self.think_s
+        if arrival >= self.duration_s:
+            return None
+        rid = self._next_rid
+        self._next_rid += 1
+        return replace(request, rid=rid, arrival_s=arrival)
+
+
+class TraceReplay(Workload):
+    """Replay an explicit ``(arrival_s, model)`` trace, in time order."""
+
+    def __init__(self, entries: Iterable[Tuple[float, str]]):
+        ordered = sorted(entries, key=lambda e: e[0])
+        self._requests = [Request(i, model, float(t))
+                          for i, (t, model) in enumerate(ordered)]
+        self.duration_s = (self._requests[-1].arrival_s
+                           if self._requests else 0.0)
+
+    def initial(self) -> List[Request]:
+        return list(self._requests)
+
+
+def zoo_mix_trace(models: Sequence[str], rate_rps: float,
+                  duration_s: float, stream: object = 0) -> TraceReplay:
+    """A canned Poisson trace over a model mix, as a replayable trace."""
+    source = OpenLoopPoisson(models, rate_rps, duration_s, stream=stream)
+    return TraceReplay((r.arrival_s, r.model) for r in source.initial())

@@ -1,11 +1,15 @@
-"""Shared fixtures: cached model builds and design evaluations."""
+"""Shared fixtures: cached model builds and design evaluations.
 
-import numpy as np
+RNG discipline: every stochastic test derives its generator from
+``repro.runtime.seeded_rng``, so the whole suite replays exactly under
+one ``REPRO_SEED`` environment variable.
+"""
+
 import pytest
 
 from repro.models import MODEL_ORDER, build_model
 from repro.npu import NPUTandem
-from repro.runtime import EvalCache, set_cache
+from repro.runtime import EvalCache, seeded_rng, set_cache
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -22,7 +26,7 @@ def _isolated_eval_cache(tmp_path_factory):
 
 @pytest.fixture(scope="session")
 def rng():
-    return np.random.default_rng(12345)
+    return seeded_rng("tests-shared")
 
 
 @pytest.fixture(scope="session")

@@ -70,6 +70,70 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+def test_cache_stats_smoke(capsys):
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out
+    assert "hits" in out
+
+
+def test_serve_dry_run_smoke(capsys):
+    assert main(["serve", "--dry-run", "--model", "bert", "--devices", "4",
+                 "--rate", "200", "--batch-policy", "dynamic"]) == 0
+    out = capsys.readouterr().out
+    assert "no simulation" in out
+    assert "dynamic" in out
+    assert "4" in out
+
+
+def test_serve_prints_slo_metrics_table(capsys, tmp_path):
+    report_json = tmp_path / "report.json"
+    assert main(["serve", "--model", "tinynet", "--devices", "2",
+                 "--rate", "500", "--duration", "0.5",
+                 "--batch-policy", "dynamic",
+                 "--json", str(report_json)]) == 0
+    out = capsys.readouterr().out
+    assert "p50 latency" in out
+    assert "p99 latency" in out
+    assert "SLO attainment" in out
+    payload = json.loads(report_json.read_text())
+    assert payload["devices"] == 2
+    assert payload["completed"] > 0
+
+
+def test_serve_closed_loop_smoke(capsys):
+    assert main(["serve", "--model", "tinynet", "--closed-loop",
+                 "--clients", "4", "--duration", "0.01",
+                 "--think-ms", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_serve_rejects_unknown_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--batch-policy", "magic"])
+
+
+def test_console_script_entry_point_declared_and_callable():
+    """pyproject must expose `repro = repro.cli:main` as a script."""
+    from pathlib import Path
+    pyproject = (Path(__file__).resolve().parent.parent
+                 / "pyproject.toml").read_text()
+    try:
+        import tomllib
+        scripts = tomllib.loads(pyproject)["project"]["scripts"]
+        assert scripts["repro"] == "repro.cli:main"
+    except ModuleNotFoundError:  # Python < 3.11: textual check
+        assert "[project.scripts]" in pyproject
+        assert 'repro = "repro.cli:main"' in pyproject
+    # The referenced callable exists and behaves like a console script:
+    # argv-less entry, integer exit status.
+    module_path, _, attr = "repro.cli:main".partition(":")
+    import importlib
+    entry = getattr(importlib.import_module(module_path), attr)
+    assert entry(["models"]) == 0
+
+
 def test_markdown_writer(tmp_path):
     from repro.harness.markdown import write_experiments_body
     path = tmp_path / "body.md"

@@ -7,6 +7,7 @@ from repro.compiler import ReferenceExecutor, compile_model
 from repro.graph import GraphBuilder
 from repro.models import build_tinynet
 from repro.npu import FunctionalRunner
+from repro.runtime import seeded_rng
 
 
 def _bindings(graph, rng, weight_hi=4, act_hi=20, bias_hi=50):
@@ -48,7 +49,7 @@ def test_tinynet_end_to_end(rng):
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
 def test_tinynet_multiple_seeds(seed):
-    rng = np.random.default_rng(seed)
+    rng = seeded_rng("e2e", seed)
     graph = build_tinynet()
     _check(graph, _bindings(graph, rng))
 

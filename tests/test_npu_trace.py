@@ -1,0 +1,71 @@
+"""npu/trace.py: the ASCII Gantt rendering and the overlap metric."""
+
+from repro.npu import (
+    NPUTandem,
+    overlap_fraction,
+    render_timeline,
+    trace_block,
+    trace_model,
+)
+
+
+def test_tinynet_trace_produces_events_for_both_units():
+    events = trace_model("tinynet")
+    assert events
+    units = {e.unit for e in events}
+    assert units == {"gemm", "tandem"}
+    for event in events:
+        assert event.end_cycle > event.start_cycle
+        assert event.duration == event.end_cycle - event.start_cycle
+
+
+def test_ascii_gantt_renders_for_tinynet():
+    events = trace_model("tinynet")
+    art = render_timeline(events, width=60)
+    lines = art.splitlines()
+    assert lines[0].startswith("cycles ")
+    assert len(lines) == 3
+    for label, line in zip(("gemm", "tandem"), lines[1:]):
+        assert label in line
+        # One fixed-width lane between the two '|' delimiters.
+        assert line.count("|") == 2
+        assert len(line.split("|")[1]) == 60
+    assert "#" in art
+
+
+def test_empty_timeline_renders_placeholder():
+    assert render_timeline([]) == "(empty trace)"
+    assert overlap_fraction([]) == 0.0
+
+
+def test_overlap_fraction_in_unit_interval_for_tinynet():
+    # TinyNet's blocks are single-tile, so the double-buffered
+    # recurrence has nothing to overlap — but the metric must stay
+    # within [0, 1] (here exactly 0).
+    events = trace_model("tinynet")
+    assert 0.0 <= overlap_fraction(events) <= 1.0
+
+
+def test_multi_tile_block_overlaps_the_units():
+    # With 4 tiles and an early Output BUF release, the GEMM unit works
+    # on tile i+1 while the Tandem Processor consumes tile i.
+    events = trace_block("b", tiles=4, g=10, t=10, release=2)
+    overlap = overlap_fraction(events)
+    assert 0.0 < overlap <= 1.0
+
+
+def test_gemm_only_block_has_zero_overlap():
+    events = trace_block("b", tiles=4, g=10, t=0, release=0)
+    assert {e.unit for e in events} == {"gemm"}
+    assert overlap_fraction(events) == 0.0
+
+
+def test_trace_respects_max_tiles_cap():
+    events = trace_block("b", tiles=100, g=5, t=5, release=2, max_tiles=8)
+    assert max(e.tile for e in events) == 7
+
+
+def test_trace_accepts_compiled_model():
+    npu = NPUTandem()
+    model = npu.compile("tinynet")
+    assert trace_model(model, npu=npu) == trace_model("tinynet", npu=npu)

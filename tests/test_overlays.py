@@ -11,6 +11,7 @@ import pytest
 from repro.compiler import ReferenceExecutor, compile_model
 from repro.graph import GraphBuilder
 from repro.npu import FunctionalRunner
+from repro.runtime import seeded_rng
 from repro.simulator import SimParams, TandemMachine, VpuOverlay
 from repro.simulator.params import TandemParams
 
@@ -42,7 +43,7 @@ OVERLAYS = {
 
 @pytest.fixture(scope="module")
 def overlay_runs():
-    rng = np.random.default_rng(3)
+    rng = seeded_rng("overlays", 3)
     data = rng.integers(-800, 800, (4, 40))
     runs = {name: _run_with_overlay(ov, data)
             for name, ov in OVERLAYS.items()}
