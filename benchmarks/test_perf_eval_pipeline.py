@@ -21,10 +21,12 @@ EXPERIMENTS = ("fig14", "fig15", "fig16", "fig18", "fig22")
 BENCH_ARTIFACT = REPO_ROOT / "BENCH_eval_pipeline.json"
 
 
-def _run_harness(cache_dir, *extra):
+def _run_harness(cache_dir, *extra, verify=True):
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = str(cache_dir)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    if not verify:
+        env["REPRO_VERIFY"] = "0"
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "repro.harness", *EXPERIMENTS, *extra],
@@ -37,20 +39,33 @@ def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
     cold_seconds, cold_stdout = _run_harness(cache_dir)
     warm_seconds, warm_stdout = _run_harness(cache_dir)
     jobs_seconds, jobs_stdout = _run_harness(cache_dir, "--jobs", "2")
+    # Warm runs serve compiled programs (already verified at compile
+    # time) straight from the cache, so static verification must cost
+    # nothing once the cache is hot.
+    noverify_seconds, noverify_stdout = _run_harness(cache_dir,
+                                                     verify=False)
 
     # Correctness first: the cache and the process pool may only change
     # the speed, never a single output byte.
     assert warm_stdout == cold_stdout
     assert jobs_stdout == cold_stdout
+    assert noverify_stdout == cold_stdout
 
     BENCH_ARTIFACT.write_text(json.dumps({
         "experiments": list(EXPERIMENTS),
         "cold_seconds": round(cold_seconds, 3),
         "warm_seconds": round(warm_seconds, 3),
         "warm_jobs2_seconds": round(jobs_seconds, 3),
+        "warm_verify_off_seconds": round(noverify_seconds, 3),
         "speedup_warm_over_cold": round(cold_seconds / warm_seconds, 2),
+        "verify_warm_overhead": round(
+            warm_seconds / noverify_seconds - 1.0, 3),
     }, indent=2) + "\n")
 
     assert warm_seconds <= 0.5 * cold_seconds, (
         f"warm run {warm_seconds:.2f}s not 2x faster than "
         f"cold {cold_seconds:.2f}s")
+    # Generous noise margin; the recorded artifact tracks the real gap.
+    assert warm_seconds <= 1.25 * noverify_seconds, (
+        f"verification added {warm_seconds - noverify_seconds:.2f}s to a "
+        f"warm run")

@@ -1,0 +1,56 @@
+"""Static program verifier + lint pipeline for compiled Tandem binaries.
+
+The Tandem Processor drops every hardware safety net — no register
+file, no MMU, no interlocks — so a compiled program is only as safe as
+its iterator-table, loop-table, and scratchpad configuration. This
+package proves those properties *statically*, post-assembly and
+pre-execution, over an abstract interpretation of the machine state:
+
+* :mod:`.state` — one-pass abstract interpreter producing a
+  :class:`~repro.analysis.verifier.state.ProgramTrace`
+* :mod:`.decode` — legal opcode/func pairs, byte-identical re-encoding
+* :mod:`.loops` — Code Repeater protocol (depth, trip counts, bodies)
+* :mod:`.dataflow` — configured-before-use + symbolic bounds proofs
+* :mod:`.ownership` — Output-BUF GEMM→Tandem handoff state machine
+* :mod:`.lint` — dead stores, unconfigured IMM reads, unused entries
+
+Entry points: :func:`verify_program` (one program),
+:func:`verify_model` (every block of a compiled model),
+:func:`verify_words` / :func:`verify_blob` (serialized binaries, for
+``repro verify``).
+"""
+
+from .findings import (
+    Finding,
+    ModelVerifyReport,
+    Severity,
+    VerificationError,
+    VerifyReport,
+    snippet_at,
+)
+from .pipeline import (
+    PASS_NAMES,
+    verify_blob,
+    verify_block_dicts,
+    verify_model,
+    verify_program,
+    verify_words,
+)
+from .state import ProgramTrace, interpret
+
+__all__ = [
+    "Finding",
+    "ModelVerifyReport",
+    "PASS_NAMES",
+    "ProgramTrace",
+    "Severity",
+    "VerificationError",
+    "VerifyReport",
+    "interpret",
+    "snippet_at",
+    "verify_blob",
+    "verify_block_dicts",
+    "verify_model",
+    "verify_program",
+    "verify_words",
+]

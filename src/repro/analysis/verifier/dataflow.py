@@ -1,0 +1,68 @@
+"""Iterator-table dataflow (ISSUE tentpole, check 2).
+
+For every compute operand in every Code Repeater nest, prove that its
+``(namespace, iterator)`` pair was configured before first use and that
+the strided walk it describes stays inside the owning scratchpad for
+*all* loop-table iterations. The walk bounds come from the symbolic
+stride×trip-count evaluation done in :mod:`.state`: with per-level
+strides ``s_l`` over trip counts ``c_l``,
+
+    min addr = base + Σ_l min(0, s_l·(c_l−1))
+    max addr = base + Σ_l max(0, s_l·(c_l−1))
+
+which is exact at the extremes of the walk, so ``min ≥ 0`` and
+``max < capacity`` proves the whole nest in O(levels) — no simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .findings import Finding, Severity, snippet_at
+from .state import ProgramTrace, capacities
+
+
+def run(trace: ProgramTrace) -> List[Finding]:
+    findings: List[Finding] = []
+    caps = capacities(trace.params)
+    entries = trace.params.iter_table_entries
+
+    def flag(rule: str, pc: int, message: str,
+             severity: Severity = Severity.ERROR) -> None:
+        findings.append(Finding(
+            severity=severity, rule=rule, message=message, pc=pc,
+            snippet=snippet_at(trace.program, pc)))
+
+    for nest in trace.nests:
+        mismatched = set()
+        for use in nest.uses:
+            where = f"{use.role} {use.ns.name}[it{use.iter_idx}]"
+            if use.iter_idx >= entries:
+                flag("iter-index-capacity", use.pc,
+                     f"{where}: iterator index exceeds the "
+                     f"{entries}-entry iterator table")
+                continue
+            if use.entry is None:
+                flag("iter-unconfigured", use.pc,
+                     f"{where}: used before any ITERATOR_CONFIG.BASE_ADDR "
+                     f"for this entry")
+                continue
+            cap = caps[use.ns]
+            if use.lo < 0 or use.hi >= cap:
+                counts = "x".join(str(c) for c in nest.counts)
+                flag("oob-access", use.pc,
+                     f"{where}: strided walk spans addresses "
+                     f"[{use.lo}, {use.hi}] over a {counts} nest, outside "
+                     f"the {cap}-word {use.ns.name} scratchpad "
+                     f"(base={use.entry.base}, "
+                     f"strides={use.entry.strides})")
+            if (nest.loops
+                    and len(use.entry.strides) != len(nest.loops)
+                    and (use.ns, use.iter_idx) not in mismatched):
+                mismatched.add((use.ns, use.iter_idx))
+                flag("stride-count-mismatch", use.pc,
+                     f"{where}: entry has {len(use.entry.strides)} stride "
+                     f"level(s) but the nest has {len(nest.loops)} loop(s); "
+                     f"extra levels walk with stride 0",
+                     severity=Severity.WARN)
+    return findings

@@ -1,0 +1,107 @@
+"""Lint-tier passes: legal-but-suspect programs (ISSUE tentpole).
+
+Nothing here fails verification — these are the diagnostics a compiler
+engineer wants when a lowered program is *correct but wasteful*, or when
+a hand-written program drifts from the lowering conventions:
+
+* ``dead-store`` (info) — a compute write to an interim buffer whose
+  address interval is never read afterwards (by a later compute read, a
+  DAE store, or a permute source). Interval overlap is conservative, so
+  a reported store really is unread.
+* ``imm-unconfigured`` (warn) — a compute read through an IMM-namespace
+  iterator entry whose slot has no ``IMM_VALUE`` write before the nest.
+* ``iter-unused`` (info) — an iterator-table configuration epoch no
+  compute operand ever references before it is overwritten or the
+  program ends.
+* ``sync-protocol`` (warn) — the program does not follow the lowering
+  convention of opening with ``SYNC.SIMD_START_EXEC`` and signalling
+  ``SYNC.SIMD_END_EXEC`` at the end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...isa import Namespace, Opcode, SyncFunc
+from .findings import Finding, Severity, snippet_at
+from .state import ProgramTrace
+
+_DEAD_STORE_SPACES = (Namespace.IBUF1, Namespace.IBUF2, Namespace.VMEM)
+
+
+def _overlaps(lo: int, hi: int, other_lo: int, other_hi: Optional[int]) -> bool:
+    if other_hi is None:          # unbounded read (size unknown statically)
+        return hi >= other_lo
+    return lo <= other_hi and other_lo <= hi
+
+
+def run(trace: ProgramTrace) -> List[Finding]:
+    findings: List[Finding] = []
+    program = trace.program
+
+    def flag(rule: str, pc: Optional[int], message: str,
+             severity: Severity) -> None:
+        findings.append(Finding(
+            severity=severity, rule=rule, message=message, pc=pc,
+            snippet=snippet_at(program, pc) if pc is not None else ""))
+
+    # (pc, namespace-or-None-for-wildcard, lo, hi-or-None) for every read.
+    reads: List[Tuple[int, Optional[Namespace], int, Optional[int]]] = []
+    for use in trace.uses:
+        if use.reads and use.entry is not None:
+            reads.append((use.pc, use.ns, use.lo, use.hi))
+    for transfer in trace.transfers:
+        if transfer.direction == "st":
+            hi = (transfer.base + transfer.elements - 1
+                  if transfer.elements else None)
+            reads.append((transfer.start_pc, transfer.ns, transfer.base, hi))
+    for perm in trace.permutes:
+        # The permute engine's namespaces are runtime-bound, so its
+        # source interval counts as a read in *any* namespace.
+        hi = perm.src_base + perm.words - 1 if perm.words else None
+        reads.append((perm.start_pc, None, perm.src_base, hi))
+
+    for use in trace.uses:
+        if not (use.writes and use.entry is not None
+                and use.ns in _DEAD_STORE_SPACES):
+            continue
+        alive = any(
+            pc > use.pc and (ns is None or ns == use.ns)
+            and _overlaps(use.lo, use.hi, lo, hi)
+            for pc, ns, lo, hi in reads)
+        if not alive:
+            flag("dead-store", use.pc,
+                 f"value written to {use.ns.name}[{use.lo}..{use.hi}] is "
+                 f"never read afterwards", Severity.INFO)
+
+    for use in trace.uses:
+        if use.ns != Namespace.IMM or not use.reads or use.entry is None:
+            continue
+        for slot in range(max(0, use.lo), min(use.hi, use.lo + 63) + 1):
+            written_at = trace.imm_written.get(slot)
+            if written_at is None or written_at > use.pc:
+                flag("imm-unconfigured", use.pc,
+                     f"{use.role} reads IMM slot {slot} with no prior "
+                     f"IMM_VALUE write", Severity.WARN)
+                break
+
+    for entry in trace.configs:
+        if not entry.used:
+            flag("iter-unused", entry.pc,
+                 f"iterator entry {entry.ns.name}[it{entry.idx}] is "
+                 f"configured but never referenced by a compute operand",
+                 Severity.INFO)
+
+    insts = program.instructions
+    if insts:
+        first = insts[0]
+        if not (first.opcode == Opcode.SYNC
+                and first.func == int(SyncFunc.SIMD_START_EXEC)):
+            flag("sync-protocol", 0,
+                 "program does not open with SYNC.SIMD_START_EXEC",
+                 Severity.WARN)
+        if not any(func == int(SyncFunc.SIMD_END_EXEC)
+                   for _, func in trace.sync_events):
+            flag("sync-protocol", len(insts) - 1,
+                 "program never signals SYNC.SIMD_END_EXEC", Severity.WARN)
+    return findings

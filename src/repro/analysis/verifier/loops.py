@@ -1,0 +1,30 @@
+"""Loop-table validation (ISSUE tentpole, check 3).
+
+The Code Repeater protocol violations are detected during abstract
+interpretation — they are properties of the *walk* (pending SET_ITER
+depth, declared body size vs. remaining stream, non-compute words caught
+inside a collected body, orphaned loop configuration) — and recorded on
+``trace.structural``. This pass owns reporting them.
+
+Rules emitted here (all attached by :func:`repro.analysis.verifier.state.interpret`):
+
+* ``loop-depth`` (error) — more than ``max_loop_levels`` pending loops
+* ``loop-trip-nonpositive`` (error) — SET_ITER with ≤ 0 iterations
+* ``loop-body-nonpositive`` (error) — SET_NUM_INST with ≤ 0 words
+* ``loop-body-overrun`` (error) — body size runs past end of program
+* ``loop-body-noncompute`` (error) — config/sync word inside a body
+* ``loop-body-overlap`` (error) — a LOOP word inside a body, i.e. two
+  Code Repeater activations claiming the same instruction words
+* ``loop-orphan-config`` (warn) — SET_ITER never followed by a body
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .findings import Finding
+from .state import ProgramTrace
+
+
+def run(trace: ProgramTrace) -> List[Finding]:
+    return list(trace.structural)

@@ -1,0 +1,100 @@
+"""Output-BUF ownership state machine (ISSUE tentpole, check 4).
+
+The Output BUF has *fluid ownership* (paper §4.1): the systolic array
+fills it during GEMM execution, then hands it to the Tandem core, which
+must release it with ``SYNC.SIMD_END_BUF`` before the next GEMM layer
+may start writing. Statically that is a three-state machine per program:
+
+    GEMM-owned ──(handoff at program start, iff the block has a GEMM
+    producer)──▶ Tandem-owned ──(SIMD_END_BUF)──▶ released
+
+and the rules are transitions the hardware has no interlock for:
+
+* ``obuf-read-before-ownership`` (error) — reading OBUF in a program
+  that was never handed the buffer (no GEMM producer): the tile data
+  belongs to whatever the systolic array is doing right now.
+* ``obuf-write-race`` (error) — writing OBUF without ownership, or
+  after releasing it: races the systolic array's own writes.
+* ``obuf-access-after-release`` (error) — any OBUF read past
+  ``SIMD_END_BUF``; the GEMM unit may already be overwriting the tile.
+* ``obuf-double-release`` (error) — a second ``SIMD_END_BUF`` would
+  release a buffer the Tandem core no longer owns.
+* ``obuf-release-without-ownership`` (warn) — ``SIMD_END_BUF`` in a
+  program that never owned the buffer (harmless today, protocol drift).
+* ``obuf-never-released`` (warn) — the program consumed OBUF but never
+  handed it back, stalling the next GEMM layer forever.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...isa import Namespace
+from .findings import Finding, Severity, snippet_at
+from .state import ProgramTrace
+
+
+def run(trace: ProgramTrace, owns_obuf: bool) -> List[Finding]:
+    findings: List[Finding] = []
+
+    def flag(rule: str, pc: int, message: str,
+             severity: Severity = Severity.ERROR) -> None:
+        findings.append(Finding(
+            severity=severity, rule=rule, message=message, pc=pc,
+            snippet=snippet_at(trace.program, pc)))
+
+    release = trace.release_pcs[0] if trace.release_pcs else None
+    for extra in trace.release_pcs[1:]:
+        flag("obuf-double-release", extra,
+             "second SIMD_END_BUF: the Output BUF was already released")
+    if not owns_obuf and trace.release_pcs:
+        flag("obuf-release-without-ownership", trace.release_pcs[0],
+             "SIMD_END_BUF in a program that never owned the Output BUF",
+             severity=Severity.WARN)
+
+    touched = False
+    for use in (u for u in trace.uses if u.ns == Namespace.OBUF):
+        touched = True
+        if not owns_obuf:
+            if use.writes:
+                flag("obuf-write-race", use.pc,
+                     f"{use.role} write to OBUF[it{use.iter_idx}] races the "
+                     f"systolic array: this program never owned the buffer")
+            if use.reads:
+                flag("obuf-read-before-ownership", use.pc,
+                     f"{use.role} read of OBUF[it{use.iter_idx}] before any "
+                     f"GEMM→Tandem handoff: the tile is un-handed-off")
+        elif release is not None and use.pc > release:
+            if use.writes:
+                flag("obuf-write-race", use.pc,
+                     f"{use.role} write to OBUF[it{use.iter_idx}] after "
+                     f"SIMD_END_BUF at pc {release} races the next GEMM "
+                     f"layer")
+            elif use.reads:
+                flag("obuf-access-after-release", use.pc,
+                     f"{use.role} read of OBUF[it{use.iter_idx}] after "
+                     f"SIMD_END_BUF at pc {release}")
+
+    for transfer in (t for t in trace.transfers if t.ns == Namespace.OBUF):
+        touched = True
+        verb = "store from" if transfer.direction == "st" else "load into"
+        if not owns_obuf:
+            rule = ("obuf-read-before-ownership" if transfer.direction == "st"
+                    else "obuf-write-race")
+            flag(rule, transfer.start_pc,
+                 f"DAE {verb} OBUF without GEMM→Tandem handoff")
+        elif release is not None and transfer.start_pc > release:
+            rule = ("obuf-access-after-release" if transfer.direction == "st"
+                    else "obuf-write-race")
+            flag(rule, transfer.start_pc,
+                 f"DAE {verb} OBUF after SIMD_END_BUF at pc {release}")
+
+    if owns_obuf and touched and release is None:
+        pc = trace.sync_events[-1][0] if trace.sync_events else None
+        findings.append(Finding(
+            severity=Severity.WARN, rule="obuf-never-released",
+            message="program consumes the Output BUF but never issues "
+                    "SIMD_END_BUF to hand it back to the GEMM unit",
+            pc=pc, snippet=snippet_at(trace.program, pc) if pc is not None
+            else ""))
+    return findings

@@ -1,0 +1,151 @@
+"""The ordered pass pipeline and its entry points.
+
+``verify_program`` is the core oracle: one abstract-interpretation walk
+(:func:`.state.interpret`) feeds the ordered passes — decode → loops →
+dataflow → ownership → lint — and the findings land in one
+:class:`VerifyReport`. ``verify_model`` maps it over a compiled model's
+blocks (Output-BUF ownership comes from whether the block has a GEMM
+producer); ``verify_words``/``verify_blob`` accept serialized program
+words, turning undecodable words into findings instead of exceptions so
+``repro verify`` can grade corrupt binaries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ...isa import Namespace, ProgramDecodeError, TandemProgram, decode
+from ...simulator.params import TandemParams
+from . import dataflow, decode as decode_pass, lint, loops, ownership
+from .findings import (
+    Finding,
+    ModelVerifyReport,
+    Severity,
+    VerificationError,
+    VerifyReport,
+)
+from .state import ProgramTrace, interpret
+
+#: Pass order is load-bearing: structural protocol errors (decode, loop
+#: table) make downstream dataflow findings noise, so they sort first.
+PASS_NAMES = ("decode", "loops", "dataflow", "ownership", "lint")
+
+
+def _infer_owns_obuf(trace: ProgramTrace) -> bool:
+    """Permissive default for bare programs (no block context).
+
+    A program that releases the Output BUF, or touches it at all, is
+    assumed to have been handed the buffer — so ownership errors only
+    fire when the caller states ``owns_obuf=False`` (as ``verify_model``
+    does for blocks without a GEMM producer).
+    """
+    if trace.release_pcs:
+        return True
+    if any(use.ns == Namespace.OBUF for use in trace.uses):
+        return True
+    return any(t.ns == Namespace.OBUF for t in trace.transfers)
+
+
+def verify_program(program: TandemProgram,
+                   params: Optional[TandemParams] = None, *,
+                   owns_obuf: Optional[bool] = None) -> VerifyReport:
+    """Run every verifier/lint pass over one program."""
+    params = params or TandemParams()
+    trace = interpret(program, params)
+    if owns_obuf is None:
+        owns_obuf = _infer_owns_obuf(trace)
+    report = VerifyReport(program=program.name,
+                          instructions=len(program.instructions))
+    report.passes = list(PASS_NAMES)
+    report.extend(decode_pass.run(trace))
+    report.extend(loops.run(trace))
+    report.extend(dataflow.run(trace))
+    report.extend(ownership.run(trace, owns_obuf))
+    report.extend(lint.run(trace))
+    report.findings.sort(
+        key=lambda f: (f.pc if f.pc is not None else -1, -int(f.severity)))
+    return report
+
+
+def verify_words(name: str, words: Sequence[int],
+                 params: Optional[TandemParams] = None, *,
+                 owns_obuf: Optional[bool] = None) -> VerifyReport:
+    """Verify a serialized word stream, grading undecodable words.
+
+    Unlike :meth:`TandemProgram.unpack`, a word that fails to decode
+    becomes an ``undecodable-word`` error finding. Semantic passes need
+    a coherent stream (one dropped word shifts every loop body), so when
+    any word fails to decode only the decode tier runs.
+    """
+    decoded, findings = [], []
+    for pc, word in enumerate(words):
+        try:
+            if not isinstance(word, int) or not 0 <= word < (1 << 32):
+                raise ProgramDecodeError(
+                    f"{word!r} is not a 32-bit word", pc=pc)
+            decoded.append(decode(word))
+        except (ProgramDecodeError, ValueError) as err:
+            shown = f"{word:#010x}" if isinstance(word, int) else repr(word)
+            findings.append(Finding(
+                severity=Severity.ERROR, rule="undecodable-word",
+                message=f"word {shown} does not decode: {err}", pc=pc))
+    if findings:
+        report = VerifyReport(program=name, instructions=len(words),
+                              passes=["decode"], findings=findings)
+        return report
+    return verify_program(TandemProgram(name, decoded), params,
+                          owns_obuf=owns_obuf)
+
+
+def verify_blob(name: str, blob: bytes,
+                params: Optional[TandemParams] = None, *,
+                owns_obuf: Optional[bool] = None) -> VerifyReport:
+    """Verify a little-endian packed program blob (``to_bytes`` form)."""
+    findings: List[Finding] = []
+    tail = len(blob) % 4
+    if tail:
+        findings.append(Finding(
+            severity=Severity.ERROR, rule="undecodable-word",
+            message=f"blob is {len(blob)} bytes, not a whole number of "
+                    f"32-bit words ({tail} trailing byte(s))",
+            pc=len(blob) // 4))
+        blob = blob[:len(blob) - tail]
+    words = [int.from_bytes(blob[i:i + 4], "little")
+             for i in range(0, len(blob), 4)]
+    report = verify_words(name, words, params, owns_obuf=owns_obuf)
+    report.findings = findings + report.findings
+    return report
+
+
+def verify_model(model, params: Optional[TandemParams] = None
+                 ) -> ModelVerifyReport:
+    """Verify every lowered tile program of a compiled model.
+
+    ``model`` is a :class:`~repro.compiler.compiler.CompiledModel`;
+    blocks with a GEMM producer own the Output BUF for the duration of
+    their tile program, everything else must not touch it.
+    """
+    params = params or model.sim_params.tandem
+    report = ModelVerifyReport(model=model.name)
+    for block in model.blocks:
+        if block.tile is None:
+            continue
+        owns = block.block.gemm is not None
+        report.reports.append(
+            verify_program(block.tile.program, params, owns_obuf=owns))
+    return report
+
+
+def verify_block_dicts(model_name: str, blocks: Iterable[dict],
+                       params: Optional[TandemParams] = None
+                       ) -> ModelVerifyReport:
+    """Verify blocks as loaded by :func:`repro.compiler.serialize.load_blocks`."""
+    report = ModelVerifyReport(model=model_name)
+    for blk in blocks:
+        tile = blk.get("tile")
+        if tile is None:
+            continue
+        owns = blk.get("gemm_node") is not None
+        report.reports.append(
+            verify_program(tile.program, params, owns_obuf=owns))
+    return report

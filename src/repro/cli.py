@@ -17,6 +17,10 @@ Commands:
   evaluation cache (``.repro_cache``; see :mod:`repro.runtime.cache`).
 * ``serve --model M --devices N --rate R`` — simulate a serving fleet
   of NPU-Tandem devices under load (see :mod:`repro.serving`).
+* ``verify TARGET... | --all`` — static verification of compiled Tandem
+  programs (zoo model names, serialized ``compile --dump`` JSON, or raw
+  program blobs); exit 1 on any error finding (``--strict``: warnings
+  too). ``lint`` is the same pipeline showing the info tier as well.
 """
 
 from __future__ import annotations
@@ -200,6 +204,91 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _verify_target(target: str):
+    """Verify one CLI target; returns a Model- or program VerifyReport.
+
+    A target is a zoo model name (compiled, every block verified), a
+    JSON file from ``repro compile --dump`` (verified without a graph),
+    or anything else readable as a raw little-endian program blob.
+    """
+    import os
+
+    from .analysis.verifier import verify_blob, verify_block_dicts
+    from .compiler import compile_model, load_blocks
+    from .models import build_model
+
+    if target in available_models():
+        from .analysis.verifier import verify_model
+        npu = NPUTandem()
+        model = compile_model(build_model(target), npu.config.sim,
+                              npu.config.gemm,
+                              special_functions=npu.special_functions,
+                              verify=False)
+        return verify_model(model)
+    if not os.path.exists(target):
+        raise FileNotFoundError(
+            f"{target!r} is neither a zoo model ({', '.join(available_models())}) "
+            f"nor a file")
+    with open(target, "rb") as handle:
+        payload = handle.read()
+    name = os.path.basename(target)
+    try:
+        blocks = load_blocks(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError):
+        return verify_blob(name, payload)
+    return verify_block_dicts(name, blocks)
+
+
+def _cmd_verify(args, lint_mode: bool) -> int:
+    from .analysis.verifier import Severity
+
+    targets = list(args.targets)
+    if args.all:
+        targets.extend(m for m in available_models() if m not in targets)
+    if not targets:
+        print("repro verify: no targets (give model names, files, or --all)",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for target in targets:
+        try:
+            reports.append(_verify_target(target))
+        except FileNotFoundError as err:
+            print(f"repro verify: {err}", file=sys.stderr)
+            return 2
+    errors = sum(r.errors for r in reports)
+    warnings = sum(r.warnings for r in reports)
+    failed = errors > 0 or (args.strict and warnings > 0)
+    if args.json:
+        import json
+        print(json.dumps({
+            "targets": [r.as_dict() for r in reports],
+            "errors": errors,
+            "warnings": warnings,
+            "infos": sum(r.infos for r in reports),
+            "clean": errors == 0,
+            "strict": bool(args.strict),
+            "ok": not failed,
+        }, indent=2, sort_keys=True))
+        return 1 if failed else 0
+    min_severity = Severity.INFO if lint_mode else Severity.WARN
+    for report in reports:
+        print(report.render(min_severity))
+    verdict = "FAIL" if failed else "ok"
+    print(f"\n{len(reports)} target(s): {errors} error(s), "
+          f"{warnings} warning(s), {sum(r.infos for r in reports)} info(s) "
+          f"— {verdict}")
+    return 1 if failed else 0
+
+
+def cmd_verify(args) -> int:
+    return _cmd_verify(args, lint_mode=False)
+
+
+def cmd_lint(args) -> int:
+    return _cmd_verify(args, lint_mode=True)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -272,6 +361,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report as JSON")
     serve.add_argument("--dry-run", action="store_true",
                        help="print the configuration and exit")
+
+    for cmd_name, help_text in (
+            ("verify", "statically verify compiled Tandem programs"),
+            ("lint", "verify + show info-tier lint findings")):
+        check = sub.add_parser(cmd_name, help=help_text)
+        check.add_argument("targets", nargs="*",
+                           help="zoo model, compile --dump JSON, or raw blob")
+        check.add_argument("--all", action="store_true",
+                           help="verify the entire model zoo")
+        check.add_argument("--json", action="store_true",
+                           help="machine-readable report on stdout")
+        check.add_argument("--strict", action="store_true",
+                           help="exit 1 on warnings as well as errors")
     return parser
 
 
@@ -284,6 +386,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "cache": cmd_cache,
     "serve": cmd_serve,
+    "verify": cmd_verify,
+    "lint": cmd_lint,
 }
 
 

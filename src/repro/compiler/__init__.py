@@ -1,6 +1,11 @@
 """The Tandem Processor compiler (Figure 13)."""
 
-from .compiler import CompiledBlock, CompiledModel, compile_model
+from .compiler import (
+    CompiledBlock,
+    CompiledModel,
+    compile_model,
+    verify_record_for,
+)
 from .fusion import Block, external_outputs, form_blocks, split_block
 from .integer_ops import (
     FRAC_BITS,
@@ -80,4 +85,5 @@ __all__ = [
     "search_tiles",
     "split_block",
     "to_fixed",
+    "verify_record_for",
 ]

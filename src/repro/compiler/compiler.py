@@ -9,9 +9,10 @@ functional runner replays the same programs on real data.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from math import ceil
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..gemm import GemmCost, SystolicArray, SystolicParams, gemm_dims
 from ..graph import DTYPE_BYTES, Graph, Node
@@ -116,22 +117,39 @@ def _compile_key(graph: Graph, sim_params: SimParams,
                        gemm_params, frac_bits, special_functions)
 
 
+def _verify_default() -> bool:
+    return os.environ.get("REPRO_VERIFY", "1").lower() not in (
+        "0", "off", "false", "no")
+
+
 def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
                   gemm_params: Optional[SystolicParams] = None,
                   frac_bits: int = FRAC_BITS,
-                  special_functions: bool = False) -> CompiledModel:
+                  special_functions: bool = False,
+                  verify: Optional[bool] = None) -> CompiledModel:
     """Compile a graph for the NPU-Tandem (Table 3 defaults).
 
     Compilation is content-cached (see :mod:`repro.runtime.cache`): a
     structurally identical (graph, Tandem core, GEMM array, options)
     request returns the cached artifact, rebound to the requested
     ``graph`` object and full ``sim_params``.
+
+    Every freshly compiled model is statically verified
+    (:mod:`repro.analysis.verifier`) before it is published to the
+    cache; a program with error-severity findings raises
+    :class:`~repro.analysis.verifier.VerificationError`. The
+    verification record is cached under the same content key (kind
+    ``"verified"``), so warm cache hits skip re-verification entirely.
+    ``verify=None`` follows the ``REPRO_VERIFY`` environment variable
+    (default on); pass ``verify=False`` to bypass explicitly.
     """
     from ..runtime.cache import get_cache
     from .serialize import dump_model, load_model
 
     sim_params = sim_params or SimParams()
     gemm_params = gemm_params or SystolicParams()
+    if verify is None:
+        verify = _verify_default()
     cache = get_cache()
     key = None
     if cache.enabled:
@@ -149,9 +167,53 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
                                  gemm_params=gemm_params)
     model = _compile_model_uncached(graph, sim_params, gemm_params,
                                     frac_bits, special_functions)
+    if verify:
+        # Imported lazily: repro.analysis pulls in the DSE/NPU stack.
+        from ..analysis.verifier import VerificationError, verify_model
+        report = verify_model(model)
+        if key is not None:
+            # The record is cached even when dirty so serving admission
+            # control can distinguish "failed verification" from
+            # "never verified".
+            cache.put("verified", key, report.record())
+        if not report.clean:
+            raise VerificationError(report)
     if key is not None:
         cache.put("compiled", key, model, encode=dump_model)
     return model
+
+
+def verify_record_for(graph: Graph, sim_params: Optional[SimParams] = None,
+                      gemm_params: Optional[SystolicParams] = None,
+                      frac_bits: int = FRAC_BITS,
+                      special_functions: bool = False) -> Dict:
+    """The cached verification record for a model, computing it if absent.
+
+    Returns the compact dict produced by
+    :meth:`~repro.analysis.verifier.ModelVerifyReport.record`; its
+    ``"clean"`` field is what serving admission control gates on. A
+    missing record is recomputed (compiling the model if necessary) and
+    published under the model's compile key.
+    """
+    from ..runtime.cache import get_cache
+
+    sim_params = sim_params or SimParams()
+    gemm_params = gemm_params or SystolicParams()
+    cache = get_cache()
+    key = None
+    if cache.enabled:
+        key = _compile_key(graph, sim_params, gemm_params, frac_bits,
+                           special_functions)
+        record = cache.get("verified", key)
+        if record is not None:
+            return record
+    from ..analysis.verifier import verify_model
+    model = compile_model(graph, sim_params, gemm_params, frac_bits,
+                          special_functions, verify=False)
+    record = verify_model(model).record()
+    if key is not None:
+        cache.put("verified", key, record)
+    return record
 
 
 def _compile_model_uncached(graph: Graph, sim_params: SimParams,

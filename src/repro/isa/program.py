@@ -10,9 +10,23 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, List
 
-from .encoding import is_compute_opcode
+from .encoding import EncodingError, is_compute_opcode
 from .instructions import Instruction, decode
 from .opcodes import Opcode
+
+
+class ProgramDecodeError(ValueError):
+    """A serialized program word cannot be decoded.
+
+    Carries the offending word index (``pc``) and raw value (``word``)
+    so tooling (``repro verify``, the cache loader) can point at the
+    exact corrupt word instead of surfacing a bare ``ValueError``.
+    """
+
+    def __init__(self, message: str, pc: int = -1, word: int = 0):
+        super().__init__(message)
+        self.pc = pc
+        self.word = word
 
 
 @dataclass
@@ -40,7 +54,22 @@ class TandemProgram:
 
     @classmethod
     def unpack(cls, name: str, words: Iterable[int]) -> "TandemProgram":
-        return cls(name, [decode(w) for w in words])
+        instructions = []
+        for pc, word in enumerate(words):
+            if not isinstance(word, int) or not 0 <= word < (1 << 32):
+                raise ProgramDecodeError(
+                    f"word {pc} of {name!r}: {word!r} is not a 32-bit "
+                    f"instruction word", pc=pc, word=word if isinstance(
+                        word, int) else 0)
+            try:
+                instructions.append(decode(word))
+            except (ValueError, EncodingError) as err:
+                # Opcode/Namespace enum misses and field overflows all
+                # surface here as one typed, indexed error.
+                raise ProgramDecodeError(
+                    f"word {pc} of {name!r} ({word:#010x}) does not "
+                    f"decode: {err}", pc=pc, word=word) from err
+        return cls(name, instructions)
 
     def to_bytes(self) -> bytes:
         return b"".join(w.to_bytes(4, "little") for w in self.pack())
@@ -48,7 +77,9 @@ class TandemProgram:
     @classmethod
     def from_bytes(cls, name: str, blob: bytes) -> "TandemProgram":
         if len(blob) % 4:
-            raise ValueError("program blob is not a whole number of words")
+            raise ProgramDecodeError(
+                f"program blob for {name!r} is {len(blob)} bytes, not a "
+                f"whole number of 32-bit words")
         words = [int.from_bytes(blob[i:i + 4], "little")
                  for i in range(0, len(blob), 4)]
         return cls.unpack(name, words)

@@ -45,6 +45,19 @@ class NPUTandem:
         return compile_model(graph, self.config.sim, self.config.gemm,
                              special_functions=self.special_functions)
 
+    def verify_record(self, graph: Union[str, Graph]) -> Dict:
+        """Static-verification record for ``graph`` under this design.
+
+        Resolves through the content-addressed cache (kind
+        ``"verified"``), compiling + verifying on a miss; see
+        :func:`repro.compiler.compiler.verify_record_for`.
+        """
+        from ..compiler import verify_record_for
+        if isinstance(graph, str):
+            graph = build_model(graph)
+        return verify_record_for(graph, self.config.sim, self.config.gemm,
+                                 special_functions=self.special_functions)
+
     def evaluate(self, graph: Union[str, Graph, CompiledModel]) -> RunResult:
         """End-to-end latency/energy; results are content-cached.
 

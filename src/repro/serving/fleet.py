@@ -95,7 +95,8 @@ class FleetSimulator:
                  admission: Optional[AdmissionPolicy] = None,
                  routing: str = "least_loaded",
                  slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
-                 min_slo_s: float = DEFAULT_MIN_SLO_S):
+                 min_slo_s: float = DEFAULT_MIN_SLO_S,
+                 require_verified: bool = True):
         if devices < 1:
             raise ValueError("devices must be >= 1")
         if routing not in ROUTING_POLICIES:
@@ -108,6 +109,11 @@ class FleetSimulator:
         self.routing = routing
         self.slo_multiplier = slo_multiplier
         self.min_slo_s = min_slo_s
+        #: Admission control refuses models whose cached static
+        #: verification record is missing or dirty (ServiceCosts.resolve
+        #: stamps each ModelCost with the record's ``clean`` bit) — a
+        #: program the verifier never blessed must not reach a device.
+        self.require_verified = require_verified
 
     # -- event plumbing ----------------------------------------------------
     def _push(self, when_s: float, kind: int, payload) -> None:
@@ -157,6 +163,12 @@ class FleetSimulator:
     def _on_arrival(self, fleet, router, collector, workload,
                     request: Request, now_s: float) -> None:
         collector.note_arrival(sum(len(d.queue) for d in fleet))
+        if self.require_verified and not self.costs.is_verified(request.model):
+            collector.note_verify_reject(request, now_s)
+            follow_up = workload.on_complete(request, now_s)
+            if follow_up is not None:
+                self._push(follow_up.arrival_s, _ARRIVAL, follow_up)
+            return
         index = router.route(fleet, request, now_s)
         device = fleet[index]
         if len(device.queue) >= self.admission.max_queue:

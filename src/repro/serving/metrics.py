@@ -53,6 +53,7 @@ class ServingReport:
     offered: int = 0
     completed: int = 0
     rejected: int = 0
+    verify_rejected: int = 0        # refused: verification record dirty/missing
     makespan_s: float = 0.0
     throughput_rps: float = 0.0
     mean_latency_ms: float = 0.0
@@ -89,6 +90,7 @@ class ServingReport:
             ("offered requests", self.offered),
             ("completed", self.completed),
             ("rejected", self.rejected),
+            ("verify-rejected", self.verify_rejected),
             ("throughput (req/s)", self.throughput_rps),
             ("mean latency (ms)", self.mean_latency_ms),
             ("p50 latency (ms)", self.p50_ms),
@@ -121,6 +123,7 @@ class MetricsCollector:
         self.latencies_ms: List[float] = []
         self.offered = 0
         self.rejected = 0
+        self.verify_rejected = 0
         self.slo_met = 0
         self.batches: List[int] = []
         self.queue_samples: List[int] = []
@@ -135,6 +138,15 @@ class MetricsCollector:
 
     def note_reject(self, request: Request, now_s: float) -> None:
         self.rejected += 1
+
+    def note_verify_reject(self, request: Request, now_s: float) -> None:
+        """Admission refusal: no clean static-verification record.
+
+        Counts toward ``rejected`` too — an unverified model's requests
+        are shed load, and they fail their SLO like any other reject.
+        """
+        self.rejected += 1
+        self.verify_rejected += 1
 
     def note_batch(self, size: int) -> None:
         self.batches.append(size)
@@ -166,6 +178,7 @@ class MetricsCollector:
             offered=self.offered,
             completed=completed,
             rejected=self.rejected,
+            verify_rejected=self.verify_rejected,
             makespan_s=makespan,
             throughput_rps=completed / horizon,
             mean_latency_ms=(sum(latencies) / completed

@@ -108,6 +108,7 @@ COMPILE_PER_INSTRUCTION_S = 0.5e-6
 class ModelCost:
     latency_s: float       # isolated batch-1 latency (NPUTandem.evaluate)
     compile_s: float       # first-touch compile + program-download cost
+    verified: bool = True  # static-verification record present and clean
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,13 @@ class ServiceCosts:
             instructions = npu.compile(model).total_instructions()
             compile_s = (COMPILE_BASE_S
                          + COMPILE_PER_INSTRUCTION_S * instructions)
-            costs[model] = ModelCost(latency, compile_s)
+            # The static-verification record rides along so fleet
+            # admission control can refuse models whose programs never
+            # passed (or failed) the verifier without touching the
+            # compiler from inside the event loop.
+            record = npu.verify_record(model)
+            verified = bool(record.get("clean", False))
+            costs[model] = ModelCost(latency, compile_s, verified)
         return cls(costs=costs, amortized_fraction=amortized_fraction)
 
     def models(self) -> Tuple[str, ...]:
@@ -140,6 +147,11 @@ class ServiceCosts:
 
     def compile_s(self, model: str) -> float:
         return self.costs[model].compile_s
+
+    def is_verified(self, model: str) -> bool:
+        """Whether the model's verification record is present and clean."""
+        cost = self.costs.get(model)
+        return cost is not None and cost.verified
 
     def batch_service_s(self, model: str, batch: int) -> float:
         """Service time for one batch: fixed overhead + linear compute.

@@ -143,3 +143,47 @@ def test_markdown_writer(tmp_path):
     assert "## table3" in text
     with pytest.raises(KeyError):
         write_experiments_body(str(path), ids=["fig99"])
+
+
+def test_verify_clean_model_exits_zero(capsys):
+    assert main(["verify", "tinynet"]) == 0
+    out = capsys.readouterr().out
+    assert "tinynet" in out
+    assert "ok" in out
+
+
+def test_verify_json_schema(capsys):
+    assert main(["verify", "tinynet", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["errors"] == 0
+    assert payload["targets"][0]["model"] == "tinynet"
+    for block in payload["targets"][0]["reports"]:
+        assert {"program", "errors", "warnings", "findings"} <= block.keys()
+
+
+def test_verify_corrupted_blob_exits_one(capsys, tmp_path):
+    blob = tmp_path / "bad.bin"
+    blob.write_bytes((0xFFFFFFFF).to_bytes(4, "little") * 3)
+    assert main(["verify", str(blob)]) == 1
+    out = capsys.readouterr().out
+    assert "undecodable-word" in out
+    assert "FAIL" in out
+
+
+def test_verify_compiled_model_dump(capsys, tmp_path):
+    dump = tmp_path / "model.json"
+    assert main(["compile", "tinynet", "--dump", str(dump)]) == 0
+    capsys.readouterr()
+    assert main(["verify", str(dump)]) == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_verify_missing_file_exits_two(capsys):
+    assert main(["verify", "/nonexistent/prog.bin"]) == 2
+
+
+def test_lint_reports_info_findings(capsys):
+    assert main(["lint", "resnet50"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out

@@ -131,3 +131,14 @@ def test_total_instruction_footprint_reasonable(compiled_models):
     for name, model in compiled_models.items():
         words = model.total_instructions()
         assert 0 < words < 1_500_000, f"{name}: {words} words"
+
+
+@pytest.mark.parametrize("name", MODEL_ORDER)
+def test_zoo_verifies_clean(name, compiled_models):
+    """Every compiled program passes the static verifier: no errors, no
+    warnings — only info-tier lint notes are tolerated."""
+    from repro.analysis.verifier import verify_model
+    report = verify_model(compiled_models[name])
+    assert report.errors == 0, report.to_json()
+    assert report.warnings == 0, report.to_json()
+    assert report.clean

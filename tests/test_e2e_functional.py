@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.analysis.verifier import verify_model
 from repro.compiler import ReferenceExecutor, compile_model
 from repro.graph import GraphBuilder
 from repro.models import build_tinynet
@@ -26,6 +27,9 @@ def _bindings(graph, rng, weight_hi=4, act_hi=20, bias_hi=50):
 
 def _check(graph, bindings):
     model = compile_model(graph)
+    # Every lowered program must pass static verification before it runs.
+    report = verify_model(model)
+    assert report.errors == 0, report.to_json()
     runner = FunctionalRunner(model)
     runner.bind(bindings)
     outputs = runner.run({k: v for k, v in bindings.items()

@@ -16,6 +16,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.analysis.verifier import verify_model
 from repro.compiler import ReferenceExecutor, compile_model
 from repro.graph import GraphBuilder
 from repro.npu import FunctionalRunner
@@ -74,10 +75,13 @@ def test_random_pipeline_bit_exact(case):
 
     data = rng.integers(value_lo, value_hi, (rows, cols))
     reference = ReferenceExecutor(graph).run({"x": data})
+    model = compile_model(graph)
+    # Every randomly generated lowering must survive static verification.
+    assert verify_model(model).errors == 0
     # Both execution modes (point-major scalar and instruction-major
     # vectorized) must match the reference bit-for-bit.
     for fast in (False, True):
-        runner = FunctionalRunner(compile_model(graph), fast=fast)
+        runner = FunctionalRunner(model, fast=fast)
         outputs = runner.run({"x": data})
         np.testing.assert_array_equal(outputs[graph.graph_outputs[0]],
                                       reference[graph.graph_outputs[0]],

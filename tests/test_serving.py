@@ -289,3 +289,41 @@ def test_grid_covers_the_full_cross_product():
                           fleets=(1, 4), rates=(10.0, 20.0), costs=costs)
     combos = {(p.policy_kind, p.devices, p.rate_rps) for p in points}
     assert len(points) == len(combos) == 8
+
+
+# ---------------------------------------------------------------------------
+# Verification admission control
+# ---------------------------------------------------------------------------
+def test_unverified_model_is_shed_at_admission():
+    costs = ServiceCosts(
+        costs={"m": ModelCost(0.010, 0.005, verified=False)},
+        amortized_fraction=0.5)
+    workload = ClosedLoop(["m"], clients=2, duration_s=0.5, think_s=0.01)
+    report = FleetSimulator(costs).run(workload)
+    assert report.completed == 0
+    assert report.verify_rejected == report.rejected == report.offered > 0
+    assert report.slo_attainment == 0.0
+    assert "verify-rejected" in report.table()
+
+
+def test_require_verified_false_restores_service():
+    costs = ServiceCosts(
+        costs={"m": ModelCost(0.010, 0.005, verified=False)},
+        amortized_fraction=0.5)
+    workload = ClosedLoop(["m"], clients=2, duration_s=0.5, think_s=0.01)
+    report = FleetSimulator(costs, require_verified=False).run(workload)
+    assert report.completed > 0
+    assert report.verify_rejected == 0
+
+
+def test_verified_models_pass_admission_untouched():
+    report = simulate(ClosedLoop(["m"], clients=1, duration_s=0.2,
+                                 think_s=0.01), toy_costs())
+    assert report.verify_rejected == 0
+    assert report.completed > 0
+
+
+def test_resolved_costs_carry_verification_bit():
+    costs = ServiceCosts.resolve(["tinynet"])
+    assert costs.is_verified("tinynet")
+    assert not costs.is_verified("never-compiled")

@@ -1,0 +1,171 @@
+"""Mutation fuzzing: the static verifier must catch what breaks execution.
+
+One packed word of a compiled tinynet program is corrupted per mutant —
+an iterator stride, a loop trip count, a Code Repeater body size, a
+config namespace id, or a compute operand namespace. A mutant counts as
+*bad* when the mutated model decodes to garbage, crashes the functional
+machine, or produces different DRAM contents than the pristine run. The
+verifier must flag (with an error-severity finding) at least 95% of the
+bad mutants; corruptions that leave execution bit-identical are ignored.
+
+The corruption values are chosen to be *semantically* destructive
+(out-of-bounds walks, zero trips, body overruns, illegal namespaces) —
+the same classes of damage a buggy lowering pass or a bit-flipped
+program download would produce.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.verifier import verify_words
+from repro.compiler import compile_model
+from repro.isa import (
+    IteratorConfigFunc,
+    LoopFunc,
+    Opcode,
+    ProgramDecodeError,
+    TandemProgram,
+)
+from repro.isa.encoding import is_compute_opcode, unpack_fields
+from repro.models import build_tinynet
+from repro.npu import FunctionalRunner
+from repro.runtime import seeded_rng
+
+PER_CLASS = 6  # mutation sites sampled per corruption class
+
+
+@pytest.fixture(scope="module")
+def pristine():
+    graph = build_tinynet()
+    model = compile_model(graph)
+    rng = seeded_rng("verifier-fuzz", "bindings")
+    bindings = {}
+    for name, spec in graph.tensors.items():
+        if graph.producer(name) is None:
+            hi = 4 if name.startswith(("w_", "b_")) else 16
+            bindings[name] = rng.integers(-hi, hi, spec.shape)
+    inputs = {k: v for k, v in bindings.items() if k in graph.graph_inputs}
+    runner = FunctionalRunner(model)
+    runner.bind(bindings)
+    baseline = runner.run(inputs)
+    return graph, model, bindings, inputs, baseline
+
+
+def _sites(model):
+    """(class, block_idx, pc, word) for every mutable word in the model."""
+    sites = []
+    for bi, cb in enumerate(model.blocks):
+        if cb.tile is None:
+            continue
+        for pc, word in enumerate(cb.tile.program.pack()):
+            fields = unpack_fields(word)
+            opcode, func = fields["opcode"], fields["func"]
+            if opcode == Opcode.ITERATOR_CONFIG:
+                if func == int(IteratorConfigFunc.STRIDE):
+                    sites.append(("stride", bi, pc, word))
+                if func in (int(IteratorConfigFunc.BASE_ADDR),
+                            int(IteratorConfigFunc.STRIDE)):
+                    sites.append(("config-ns", bi, pc, word))
+            elif opcode == Opcode.LOOP:
+                if func == int(LoopFunc.SET_ITER):
+                    sites.append(("trip", bi, pc, word))
+                elif func == int(LoopFunc.SET_NUM_INST):
+                    sites.append(("body", bi, pc, word))
+            elif is_compute_opcode(opcode):
+                sites.append(("compute-ns", bi, pc, word))
+    return sites
+
+
+def _corrupt(kind, word, rng):
+    """Return the mutated 32-bit word for one corruption class."""
+    if kind == "stride":
+        # Stride large enough that any second trip walks off every pad.
+        stride = int(rng.choice([31000, -31000])) & 0xFFFF
+        return (word & ~0xFFFF) | stride
+    if kind == "trip":
+        # Zero trips (protocol violation) or a count that overruns pads.
+        imm = int(rng.choice([0, 29000, 31000]))
+        return (word & ~0xFFFF) | imm
+    if kind == "body":
+        # Grow the repeater body so it swallows words after the nest.
+        grow = int(rng.integers(5, 40))
+        return (word & ~0xFFFF) | ((word & 0xFFFF) + grow) & 0xFFFF
+    if kind == "config-ns":
+        return (word & ~(0x7 << 21)) | (6 << 21)  # namespace ids stop at 4
+    if kind == "compute-ns":
+        return (word & ~(0x7 << 21)) | (6 << 21)  # dst_ns field
+    raise AssertionError(kind)
+
+
+def _evaluate(pristine, block_idx, pc, new_word):
+    """Run one mutant: returns (statically_flagged, dynamically_bad)."""
+    graph, model, bindings, inputs, baseline = pristine
+    cb = model.blocks[block_idx]
+    words = list(cb.tile.program.pack())
+    words[pc] = new_word
+    owns = cb.block.gemm is not None
+    report = verify_words(cb.tile.program.name, words, owns_obuf=owns)
+    flagged = report.errors > 0
+
+    try:
+        program = TandemProgram.unpack(cb.tile.program.name, words)
+    except ProgramDecodeError:
+        return flagged, True
+    blocks = list(model.blocks)
+    blocks[block_idx] = dataclasses.replace(
+        cb, tile=dataclasses.replace(cb.tile, program=program))
+    mutant = dataclasses.replace(model, blocks=blocks)
+    try:
+        runner = FunctionalRunner(mutant)
+        runner.bind(bindings)
+        outputs = runner.run(inputs)
+    except Exception:
+        return flagged, True
+    bad = any(not np.array_equal(outputs[name], baseline[name])
+              for name in baseline)
+    return flagged, bad
+
+
+def test_verifier_catches_mutations_that_break_execution(pristine):
+    _, model, *_ = pristine
+    rng = seeded_rng("verifier-fuzz", "mutants")
+    by_class = {}
+    for site in _sites(model):
+        by_class.setdefault(site[0], []).append(site)
+    assert set(by_class) == {"stride", "trip", "body", "config-ns",
+                             "compute-ns"}
+
+    bad_total = 0
+    flagged_bad = 0
+    missed = []
+    for kind, sites in sorted(by_class.items()):
+        picks = rng.choice(len(sites), size=min(PER_CLASS, len(sites)),
+                           replace=False)
+        for pick in picks:
+            _, block_idx, pc, word = sites[int(pick)]
+            new_word = _corrupt(kind, word, rng)
+            if new_word == word:
+                continue
+            flagged, bad = _evaluate(pristine, block_idx, pc, new_word)
+            if bad:
+                bad_total += 1
+                if flagged:
+                    flagged_bad += 1
+                else:
+                    missed.append((kind, block_idx, pc))
+    # Enough semantically destructive mutants to make the ratio meaningful.
+    assert bad_total >= 12
+    assert flagged_bad / bad_total >= 0.95, (
+        f"verifier missed {len(missed)} of {bad_total} bad mutants: {missed}")
+
+
+def test_pristine_model_verifies_clean(pristine):
+    _, model, *_ = pristine
+    for cb in model.blocks:
+        if cb.tile is None:
+            continue
+        report = verify_words(cb.tile.program.name, cb.tile.program.pack(),
+                              owns_obuf=cb.block.gemm is not None)
+        assert report.errors == 0, report.render()
