@@ -7,3 +7,6 @@ def test_fig08(exp):
     experiment = exp("fig08")
     assert measured(experiment, "gemm_utilization_gain") > 0.02
     assert measured(experiment, "tandem_utilization_gain") > 0.02
+    # Utilizations now come from the npu.* telemetry counters; the
+    # experiment cross-checks them against the analytic RunResult path.
+    assert measured(experiment, "counters_agree_with_analytic") is True

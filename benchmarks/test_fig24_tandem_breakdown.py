@@ -10,3 +10,6 @@ def test_fig24(exp):
     assert measured(experiment, "gelu_or_softmax_heavy_in_bert") is True
     assert measured(experiment, "reducemean_visible_in_gpt2") is True
     assert measured(experiment, "gemm_significant_share_on_npu") is True
+    # Breakdown fractions now come from the npu.* telemetry counters;
+    # the experiment cross-checks them against the analytic per-op times.
+    assert measured(experiment, "counters_agree_with_analytic") is True

@@ -21,12 +21,14 @@ EXPERIMENTS = ("fig14", "fig15", "fig16", "fig18", "fig22")
 BENCH_ARTIFACT = REPO_ROOT / "BENCH_eval_pipeline.json"
 
 
-def _run_harness(cache_dir, *extra, verify=True):
+def _run_harness(cache_dir, *extra, verify=True, telemetry=False):
     env = dict(os.environ)
     env["REPRO_CACHE_DIR"] = str(cache_dir)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     if not verify:
         env["REPRO_VERIFY"] = "0"
+    if telemetry:
+        env["REPRO_TELEMETRY"] = "1"
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-m", "repro.harness", *EXPERIMENTS, *extra],
@@ -44,12 +46,19 @@ def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
     # nothing once the cache is hot.
     noverify_seconds, noverify_stdout = _run_harness(cache_dir,
                                                      verify=False)
+    # Telemetry is observational only: with REPRO_TELEMETRY=1 the same
+    # warm run records counters + spans yet must not change one output
+    # byte, and the disabled-by-default path (every run above) costs
+    # nothing more than attribute checks.
+    telemetry_seconds, telemetry_stdout = _run_harness(cache_dir,
+                                                       telemetry=True)
 
     # Correctness first: the cache and the process pool may only change
     # the speed, never a single output byte.
     assert warm_stdout == cold_stdout
     assert jobs_stdout == cold_stdout
     assert noverify_stdout == cold_stdout
+    assert telemetry_stdout == cold_stdout
 
     BENCH_ARTIFACT.write_text(json.dumps({
         "experiments": list(EXPERIMENTS),
@@ -57,9 +66,12 @@ def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
         "warm_seconds": round(warm_seconds, 3),
         "warm_jobs2_seconds": round(jobs_seconds, 3),
         "warm_verify_off_seconds": round(noverify_seconds, 3),
+        "warm_telemetry_seconds": round(telemetry_seconds, 3),
         "speedup_warm_over_cold": round(cold_seconds / warm_seconds, 2),
         "verify_warm_overhead": round(
             warm_seconds / noverify_seconds - 1.0, 3),
+        "telemetry_warm_overhead": round(
+            telemetry_seconds / warm_seconds - 1.0, 3),
     }, indent=2) + "\n")
 
     assert warm_seconds <= 0.5 * cold_seconds, (
@@ -69,3 +81,9 @@ def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
     assert warm_seconds <= 1.25 * noverify_seconds, (
         f"verification added {warm_seconds - noverify_seconds:.2f}s to a "
         f"warm run")
+    # The telemetry layer must stay within 5% of the warm-run time even
+    # when it is actively recording; the disabled default can only be
+    # cheaper. A small absolute slack absorbs subprocess start-up noise.
+    assert telemetry_seconds <= 1.05 * warm_seconds + 0.3, (
+        f"telemetry added {telemetry_seconds - warm_seconds:.2f}s to a "
+        f"warm run ({warm_seconds:.2f}s)")

@@ -80,15 +80,35 @@ def figure24(models: Optional[List[str]] = None,
              npu: Optional[NPUTandem] = None) -> Dict[str, Dict[str, float]]:
     """NPU-Tandem runtime breakdown: GEMM + each non-GEMM operator type.
 
-    Fractions of total busy time (GEMM busy + per-operator Tandem time).
+    Fractions of total busy time (GEMM busy + per-operator Tandem time),
+    read from the ``npu.*`` hardware counters and cross-checked against
+    the analytic :class:`RunResult` fields (the two must agree).
     """
+    from .utilization import _require_close, evaluate_with_counters
     models = models or MODEL_ORDER
     npu = npu or NPUTandem()
+    freq = npu.config.frequency_hz
+    prefix = "npu.op_cycles."
     out: Dict[str, Dict[str, float]] = {}
     for model in models:
-        result = npu.evaluate(model)
-        parts = dict(result.per_op_seconds)
-        parts["GEMM"] = result.gemm_seconds
+        result, counters = evaluate_with_counters(npu, model)
+        counter_ops = {name[len(prefix):] for name in counters
+                       if name.startswith(prefix)}
+        if counter_ops - set(result.per_op_seconds):
+            raise RuntimeError(
+                f"telemetry counters carry operator types the analytic "
+                f"model never saw: {sorted(counter_ops - set(result.per_op_seconds))}")
+        # Keyed in the analytic result's operator order so the rendered
+        # experiment stays byte-identical to the pre-counter pipeline.
+        parts = {op: counters.get(prefix + op, 0.0) / freq
+                 for op in result.per_op_seconds}
+        gemm_seconds = counters.get("npu.gemm.busy_cycles", 0) / freq
+        _require_close(gemm_seconds, result.gemm_seconds,
+                       f"{model} GEMM busy time")
+        for op, seconds in result.per_op_seconds.items():
+            _require_close(parts.get(op, 0.0), seconds,
+                           f"{model} {op} Tandem time")
+        parts["GEMM"] = gemm_seconds
         total = sum(parts.values())
         out[model] = {op: sec / total for op, sec in parts.items()} if total \
             else {}

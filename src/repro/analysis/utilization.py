@@ -7,11 +7,39 @@ by 20 % and 13 % for the GEMM unit and the Tandem Processor".
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..models import MODEL_ORDER
 from ..npu import NPUTandem
+from ..results import RunResult
+
+
+def evaluate_with_counters(npu: NPUTandem, model: str
+                           ) -> Tuple[RunResult, Dict[str, float]]:
+    """Evaluate ``model`` under a private telemetry session.
+
+    Compiles first, then evaluates the :class:`CompiledModel` — which
+    bypasses the result cache — so the ``npu.*`` hardware counters are
+    really populated, and returns both the analytic result and the
+    counter dump. The two are independent read-out paths over the same
+    schedule; counter-backed figures cross-check them.
+    """
+    from ..telemetry import Telemetry, scoped_telemetry
+    compiled = npu.compile(model)
+    with scoped_telemetry(Telemetry(enabled=True,
+                                    label=f"counters:{model}")) as tel:
+        result = npu.evaluate(compiled)
+        counters = tel.counters.as_dict()
+    return result, counters
+
+
+def _require_close(derived: float, analytic: float, what: str) -> None:
+    if not math.isclose(derived, analytic, rel_tol=1e-9, abs_tol=1e-12):
+        raise RuntimeError(
+            f"telemetry counters disagree with the analytic model on "
+            f"{what}: counter-derived {derived!r} vs analytic {analytic!r}")
 
 
 @dataclass
@@ -31,6 +59,25 @@ class UtilizationComparison:
         return self.tandem_util_tile - self.tandem_util_layer
 
 
+def _counter_utilization(npu: NPUTandem, model: str) -> Tuple[float, float]:
+    """(gemm, tandem) utilization read from the hardware counters.
+
+    Cross-checked against the :class:`RunResult` utilization fields —
+    the Figure 8 experiment must agree with the analytic path exactly.
+    """
+    result, counters = evaluate_with_counters(npu, model)
+    total = counters.get("npu.total_cycles", 0)
+    gemm_util = counters.get("npu.gemm.busy_cycles", 0) / total if total \
+        else 0.0
+    tandem_util = counters.get("npu.tandem.busy_cycles", 0) / total if total \
+        else 0.0
+    _require_close(gemm_util, result.gemm_utilization,
+                   f"{model}/{npu.name} GEMM utilization")
+    _require_close(tandem_util, result.nongemm_utilization,
+                   f"{model}/{npu.name} Tandem utilization")
+    return gemm_util, tandem_util
+
+
 def utilization_comparison(models: Optional[List[str]] = None
                            ) -> List[UtilizationComparison]:
     models = models or MODEL_ORDER
@@ -38,13 +85,13 @@ def utilization_comparison(models: Optional[List[str]] = None
     layer_npu = NPUTandem(overlap=False)
     out = []
     for model in models:
-        rt = tile_npu.evaluate(model)
-        rl = layer_npu.evaluate(model)
+        gemm_tile, tandem_tile = _counter_utilization(tile_npu, model)
+        gemm_layer, tandem_layer = _counter_utilization(layer_npu, model)
         out.append(UtilizationComparison(
             model=model,
-            gemm_util_tile=rt.gemm_utilization,
-            tandem_util_tile=rt.nongemm_utilization,
-            gemm_util_layer=rl.gemm_utilization,
-            tandem_util_layer=rl.nongemm_utilization,
+            gemm_util_tile=gemm_tile,
+            tandem_util_tile=tandem_tile,
+            gemm_util_layer=gemm_layer,
+            tandem_util_layer=tandem_layer,
         ))
     return out

@@ -12,7 +12,12 @@ Commands:
   inspect/serialize the Tandem programs.
 * ``experiment ID [ID...] [--jobs N]`` — regenerate paper
   figures/tables, optionally across worker processes.
-* ``trace MODEL`` — ASCII timeline of the software-pipelined execution.
+* ``trace MODEL [--json FILE]`` — ASCII timeline of the
+  software-pipelined execution, optionally also exported as a
+  Perfetto-loadable Chrome trace-event file.
+* ``profile MODEL [--trace-out FILE]`` — run one model with telemetry
+  on: compile/verify/simulate spans, the hardware-counter dump, and
+  optionally a merged Chrome trace (host spans + device tile timeline).
 * ``cache {stats,clear,path}`` — inspect or drop the content-addressed
   evaluation cache (``.repro_cache``; see :mod:`repro.runtime.cache`).
 * ``serve --model M --devices N --rate R`` — simulate a serving fleet
@@ -150,6 +155,63 @@ def cmd_cache(args) -> int:
 def cmd_trace(args) -> int:
     events = trace_model(args.model)
     print(render_timeline(events[:args.events], width=args.width))
+    if args.json:
+        from .telemetry.export import (
+            chrome_trace,
+            tile_timeline_events,
+            write_trace,
+        )
+        payload = chrome_trace(
+            [], device_events=tile_timeline_events(events),
+            extra_other_data={"model": args.model})
+        write_trace(args.json, payload)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .analysis.verifier import verify_model
+    from .compiler import compile_model
+    from .models import build_model
+    from .telemetry import Telemetry, scoped_telemetry
+    from .telemetry.export import (
+        chrome_trace,
+        format_counters,
+        tile_timeline_events,
+        write_trace,
+    )
+
+    npu = NPUTandem()
+    graph = build_model(args.model)
+    with scoped_telemetry(Telemetry(enabled=True,
+                                    label=f"profile:{args.model}")) as tel:
+        with tel.span("profile", cat="host", model=args.model):
+            # Compile without the implicit verification pass, then verify
+            # and simulate explicitly: each phase gets its own span even
+            # when the compile cache is warm, and evaluating the
+            # CompiledModel bypasses the result cache so the simulation
+            # really runs and populates the npu.* counters.
+            model = compile_model(graph, npu.config.sim, npu.config.gemm,
+                                  special_functions=npu.special_functions,
+                                  verify=False)
+            with tel.span("verify", cat="compiler", model=args.model):
+                report = verify_model(model)
+            with tel.span("simulate", cat="npu", model=args.model):
+                result = npu.evaluate(model)
+        snapshot = tel.snapshot()
+
+    print(f"{args.model} on {npu.name}: {result.total_seconds * 1e3:.4f} ms, "
+          f"verification {'clean' if report.clean else 'DIRTY'}")
+    print()
+    print(format_counters(snapshot["counters"],
+                          title=f"hardware counters: {args.model}"))
+    if args.trace_out:
+        payload = chrome_trace(
+            [snapshot],
+            device_events=tile_timeline_events(trace_model(model, npu)),
+            extra_other_data={"model": args.model, "design": npu.name})
+        write_trace(args.trace_out, payload)
+        print(f"\nwrote {args.trace_out}")
     return 0
 
 
@@ -194,9 +256,28 @@ def cmd_serve(args) -> int:
                                  args.max_wait_ms),
         admission=AdmissionPolicy(args.max_queue),
         routing=args.routing,
-        slo_multiplier=args.slo_multiplier)
-    report = sim.run(workload, rate_rps=rate)
+        slo_multiplier=args.slo_multiplier,
+        collect_trace=bool(args.trace_out))
+    if args.trace_out:
+        from .telemetry import Telemetry, scoped_telemetry
+        from .telemetry.export import (
+            chrome_trace,
+            serving_trace_events,
+            write_trace,
+        )
+        with scoped_telemetry(Telemetry(enabled=True,
+                                        label="serve")) as tel:
+            report = sim.run(workload, rate_rps=rate)
+            snapshot = tel.snapshot()
+        payload = chrome_trace(
+            [snapshot], device_events=serving_trace_events(sim.trace_log),
+            extra_other_data={"models": models, "devices": args.devices})
+        write_trace(args.trace_out, payload)
+    else:
+        report = sim.run(workload, rate_rps=rate)
     print(report.table())
+    if args.trace_out:
+        print(f"wrote {args.trace_out}")
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
@@ -325,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("model")
     trace.add_argument("--events", type=int, default=80)
     trace.add_argument("--width", type=int, default=72)
+    trace.add_argument("--json", metavar="FILE",
+                       help="also write a Perfetto-loadable trace file")
+
+    profile = sub.add_parser("profile",
+                             help="run one model with telemetry enabled")
+    profile.add_argument("model")
+    profile.add_argument("--trace-out", metavar="FILE",
+                         help="write a Chrome/Perfetto trace-event file")
 
     cache = sub.add_parser("cache", help="inspect/clear the eval cache")
     cache.add_argument("action", choices=("stats", "clear", "path"),
@@ -359,6 +448,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="closed-loop think time")
     serve.add_argument("--json", metavar="FILE",
                        help="also write the report as JSON")
+    serve.add_argument("--trace-out", metavar="FILE",
+                       help="write request lifecycles as a Chrome trace")
     serve.add_argument("--dry-run", action="store_true",
                        help="print the configuration and exit")
 
@@ -384,6 +475,7 @@ _COMMANDS = {
     "compile": cmd_compile,
     "experiment": cmd_experiment,
     "trace": cmd_trace,
+    "profile": cmd_profile,
     "cache": cmd_cache,
     "serve": cmd_serve,
     "verify": cmd_verify,

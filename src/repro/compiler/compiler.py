@@ -144,43 +144,48 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
     (default on); pass ``verify=False`` to bypass explicitly.
     """
     from ..runtime.cache import get_cache
+    from ..telemetry import get_telemetry
     from .serialize import dump_model, load_model
 
     sim_params = sim_params or SimParams()
     gemm_params = gemm_params or SystolicParams()
     if verify is None:
         verify = _verify_default()
-    cache = get_cache()
-    key = None
-    if cache.enabled:
-        key = _compile_key(graph, sim_params, gemm_params, frac_bits,
-                           special_functions)
-        hit = cache.get(
-            "compiled", key,
-            decode=lambda text: load_model(text, graph, sim_params,
-                                           gemm_params))
-        if hit is not None:
-            # Blocks are shared, read-only artifacts; the wrapper binds
-            # this caller's graph object and evaluation parameters.
-            return CompiledModel(graph=graph, blocks=hit.blocks,
-                                 sim_params=sim_params,
-                                 gemm_params=gemm_params)
-    model = _compile_model_uncached(graph, sim_params, gemm_params,
-                                    frac_bits, special_functions)
-    if verify:
-        # Imported lazily: repro.analysis pulls in the DSE/NPU stack.
-        from ..analysis.verifier import VerificationError, verify_model
-        report = verify_model(model)
+    tel = get_telemetry()
+    with tel.span("compile", cat="compiler", model=graph.name):
+        cache = get_cache()
+        key = None
+        if cache.enabled:
+            key = _compile_key(graph, sim_params, gemm_params, frac_bits,
+                               special_functions)
+            hit = cache.get(
+                "compiled", key,
+                decode=lambda text: load_model(text, graph, sim_params,
+                                               gemm_params))
+            if hit is not None:
+                # Blocks are shared, read-only artifacts; the wrapper binds
+                # this caller's graph object and evaluation parameters.
+                return CompiledModel(graph=graph, blocks=hit.blocks,
+                                     sim_params=sim_params,
+                                     gemm_params=gemm_params)
+        with tel.span("lower", cat="compiler", model=graph.name):
+            model = _compile_model_uncached(graph, sim_params, gemm_params,
+                                            frac_bits, special_functions)
+        if verify:
+            # Imported lazily: repro.analysis pulls in the DSE/NPU stack.
+            from ..analysis.verifier import VerificationError, verify_model
+            with tel.span("verify", cat="compiler", model=graph.name):
+                report = verify_model(model)
+            if key is not None:
+                # The record is cached even when dirty so serving admission
+                # control can distinguish "failed verification" from
+                # "never verified".
+                cache.put("verified", key, report.record())
+            if not report.clean:
+                raise VerificationError(report)
         if key is not None:
-            # The record is cached even when dirty so serving admission
-            # control can distinguish "failed verification" from
-            # "never verified".
-            cache.put("verified", key, report.record())
-        if not report.clean:
-            raise VerificationError(report)
-    if key is not None:
-        cache.put("compiled", key, model, encode=dump_model)
-    return model
+            cache.put("compiled", key, model, encode=dump_model)
+        return model
 
 
 def verify_record_for(graph: Graph, sim_params: Optional[SimParams] = None,

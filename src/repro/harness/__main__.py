@@ -22,6 +22,21 @@ def _render(exp_id: str) -> str:
     return run_experiment(exp_id).render()
 
 
+def _render_traced(exp_id: str):
+    """Render one experiment under a fresh telemetry session.
+
+    Runs in the worker process; the (picklable) snapshot travels back
+    with the rendered text and the parent merges snapshots in request
+    order, so serial and ``--jobs`` runs produce the same trace.
+    """
+    from ..telemetry import Telemetry, scoped_telemetry
+    with scoped_telemetry(Telemetry(enabled=True,
+                                    label=f"experiment:{exp_id}")) as tel:
+        with tel.span(f"experiment:{exp_id}", cat="harness"):
+            text = run_experiment(exp_id).render()
+        return text, tel.snapshot()
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -36,6 +51,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="on-disk cache location (default .repro_cache)")
     parser.add_argument("--clear-cache", action="store_true",
                         help="drop every cached entry before running")
+    parser.add_argument("--trace-out", metavar="FILE",
+                        help="run with telemetry on and write a merged "
+                             "Chrome trace-event file")
     return parser
 
 
@@ -54,9 +72,21 @@ def main(argv=None) -> int:
         get_cache().clear()
     ids = args.ids or all_experiment_ids()
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    for text in parallel_map(_render, ids, jobs=jobs):
-        print(text)
-        print()
+    if args.trace_out:
+        snapshots = []
+        for text, snapshot in parallel_map(_render_traced, ids, jobs=jobs):
+            print(text)
+            print()
+            snapshots.append(snapshot)
+        from ..telemetry.export import chrome_trace, write_trace
+        write_trace(args.trace_out,
+                    chrome_trace(snapshots,
+                                 extra_other_data={"experiments": list(ids)}))
+        print(f"wrote {args.trace_out}")
+    else:
+        for text in parallel_map(_render, ids, jobs=jobs):
+            print(text)
+            print()
     return 0
 
 

@@ -15,6 +15,7 @@ from ..graph import Graph
 from ..models import build_model
 from ..results import RunResult
 from ..simulator import EnergyLedger, MachineResult, estimate, scale_result
+from ..telemetry import get_telemetry
 from .config import NPUConfig, table3_config
 from .controller import ExecutionController
 
@@ -84,6 +85,8 @@ class NPUTandem:
         return result
 
     def _evaluate(self, graph: Union[str, Graph, CompiledModel]) -> RunResult:
+        tel = get_telemetry()
+        tel = tel if tel.enabled else None
         model = graph if isinstance(graph, CompiledModel) else self.compile(graph)
         freq = self.config.frequency_hz
 
@@ -135,6 +138,9 @@ class NPUTandem:
             total_cycles += schedule.total_cycles
             gemm_busy += schedule.gemm_busy_cycles
             tandem_busy += schedule.tandem_busy_cycles
+            if tel is not None:
+                tel.count("npu.blocks")
+                tel.count("npu.tiles", cb.tiles)
 
             if cb.gemm_cost is not None:
                 gemm_energy_pj += cb.gemm_cost.energy_pj
@@ -146,6 +152,15 @@ class NPUTandem:
                     per_op_cycles[op_type] = (
                         per_op_cycles.get(op_type, 0.0)
                         + op_result.pipelined_cycles * cb.tiles)
+
+        if tel is not None:
+            tel.count("npu.total_cycles", total_cycles)
+            tel.count("npu.gemm.busy_cycles", gemm_busy)
+            tel.count("npu.gemm.idle_cycles", total_cycles - gemm_busy)
+            tel.count("npu.tandem.busy_cycles", tandem_busy)
+            tel.count("npu.tandem.idle_cycles", total_cycles - tandem_busy)
+            for op_type, cycles in per_op_cycles.items():
+                tel.count(f"npu.op_cycles.{op_type}", cycles)
 
         total_seconds = total_cycles / freq
         static_j = total_seconds * self.config.static_watts

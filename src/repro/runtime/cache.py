@@ -33,6 +33,8 @@ import tempfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from ..telemetry import get_telemetry
+
 #: Bump when the meaning of cached values changes (estimator semantics,
 #: result fields, serialized-artifact layout) so stale on-disk entries
 #: from older code versions miss instead of resurfacing.
@@ -150,19 +152,26 @@ class EvalCache:
         """Look up ``key``; memory first, then disk (re-encoding to memory)."""
         if not self.enabled:
             return None
+        tel = get_telemetry()
+        tel = tel if tel.enabled else None
         slot = (kind, key)
         if slot in self._memory:
             self.stats.hits += 1
+            if tel is not None:
+                tel.count(f"cache.{kind}.hits")
             return self._memory[slot]
         if self.persist:
             path = self._path(kind, key)
             if path.exists():
                 try:
-                    payload = json.loads(path.read_text())
+                    text = path.read_text()
+                    payload = json.loads(text)
                     value = decode(payload) if decode else payload
                 except (ValueError, KeyError, TypeError, OSError):
                     # Stale or corrupt artifact from an older code version.
                     self.stats.invalidations += 1
+                    if tel is not None:
+                        tel.count(f"cache.{kind}.invalidations")
                     try:
                         path.unlink()
                     except OSError:
@@ -170,16 +179,25 @@ class EvalCache:
                 else:
                     self._memory[slot] = value
                     self.stats.hits += 1
+                    if tel is not None:
+                        tel.count(f"cache.{kind}.hits")
+                        tel.count(f"cache.{kind}.bytes_read", len(text))
                     return value
         self.stats.misses += 1
+        if tel is not None:
+            tel.count(f"cache.{kind}.misses")
         return None
 
     def put(self, kind: str, key: str, value: Any,
             encode: Optional[Callable[[Any], Any]] = None) -> None:
         if not self.enabled:
             return
+        tel = get_telemetry()
+        tel = tel if tel.enabled else None
         self._memory[(kind, key)] = value
         self.stats.stores += 1
+        if tel is not None:
+            tel.count(f"cache.{kind}.stores")
         if self.persist:
             payload = encode(value) if encode else value
             path = self._path(kind, key)
@@ -187,9 +205,12 @@ class EvalCache:
             # Atomic publish: parallel workers may race on the same key.
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
+                text = json.dumps(payload, default=_json_scalar)
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle, default=_json_scalar)
+                    handle.write(text)
                 os.replace(tmp, path)
+                if tel is not None:
+                    tel.count(f"cache.{kind}.bytes_written", len(text))
             except OSError:
                 try:
                     os.unlink(tmp)

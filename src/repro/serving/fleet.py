@@ -27,7 +27,9 @@ from __future__ import annotations
 import heapq
 import zlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..telemetry import get_telemetry
 
 from .metrics import (
     DEFAULT_MIN_SLO_S,
@@ -96,7 +98,8 @@ class FleetSimulator:
                  routing: str = "least_loaded",
                  slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
                  min_slo_s: float = DEFAULT_MIN_SLO_S,
-                 require_verified: bool = True):
+                 require_verified: bool = True,
+                 collect_trace: bool = False):
         if devices < 1:
             raise ValueError("devices must be >= 1")
         if routing not in ROUTING_POLICIES:
@@ -114,6 +117,11 @@ class FleetSimulator:
         #: stamps each ModelCost with the record's ``clean`` bit) — a
         #: program the verifier never blessed must not reach a device.
         self.require_verified = require_verified
+        #: Request-lifecycle event log (batch launches, rejects) for the
+        #: trace exporter; populated only when ``collect_trace`` — all
+        #: entries are simulated-time, so the log is deterministic.
+        self.collect_trace = collect_trace
+        self.trace_log: List[Dict[str, Any]] = []
 
     # -- event plumbing ----------------------------------------------------
     def _push(self, when_s: float, kind: int, payload) -> None:
@@ -124,6 +132,7 @@ class FleetSimulator:
             ) -> ServingReport:
         fleet = [DeviceState() for _ in range(self.devices)]
         router = Router(self.routing, self.devices, self.costs)
+        self.trace_log = []
         collector = MetricsCollector(self.costs, self.slo_multiplier,
                                      self.min_slo_s)
         self._events: List[Tuple] = []
@@ -148,6 +157,18 @@ class FleetSimulator:
                 fleet[payload].timer_at_s = None
                 self._dispatch(fleet, collector, payload, now_s)
 
+        tel = get_telemetry()
+        if tel.enabled:
+            tel.count("serving.requests.offered", collector.offered)
+            tel.count("serving.requests.completed",
+                      len(collector.latencies_ms))
+            tel.count("serving.requests.rejected", collector.rejected)
+            tel.count("serving.requests.verify_rejected",
+                      collector.verify_rejected)
+            tel.count("serving.batches.launched", len(collector.batches))
+            tel.count("serving.batches.requests", sum(collector.batches))
+            tel.count("serving.compiles", collector.compiles)
+
         return collector.report(
             models=self.costs.models(),
             devices=self.devices,
@@ -165,6 +186,9 @@ class FleetSimulator:
         collector.note_arrival(sum(len(d.queue) for d in fleet))
         if self.require_verified and not self.costs.is_verified(request.model):
             collector.note_verify_reject(request, now_s)
+            if self.collect_trace:
+                self.trace_log.append({"kind": "verify-reject",
+                                       "model": request.model, "t_s": now_s})
             follow_up = workload.on_complete(request, now_s)
             if follow_up is not None:
                 self._push(follow_up.arrival_s, _ARRIVAL, follow_up)
@@ -173,6 +197,9 @@ class FleetSimulator:
         device = fleet[index]
         if len(device.queue) >= self.admission.max_queue:
             collector.note_reject(request, now_s)
+            if self.collect_trace:
+                self.trace_log.append({"kind": "queue-reject",
+                                       "model": request.model, "t_s": now_s})
             follow_up = workload.on_complete(request, now_s)
             if follow_up is not None:
                 self._push(follow_up.arrival_s, _ARRIVAL, follow_up)
@@ -197,7 +224,8 @@ class FleetSimulator:
         del device.queue[:decision.count]
         model = batch[0].model
         service_s = self.costs.batch_service_s(model, len(batch))
-        if model not in device.compiled:
+        first_touch = model not in device.compiled
+        if first_touch:
             service_s += self.costs.compile_s(model)
             device.compiled.add(model)
             collector.compiles += 1
@@ -205,6 +233,11 @@ class FleetSimulator:
         device.busy_until_s = finish_s
         device.busy_s += service_s
         collector.note_batch(len(batch))
+        if self.collect_trace:
+            self.trace_log.append({"kind": "batch", "device": index,
+                                   "model": model, "batch": len(batch),
+                                   "start_s": now_s, "finish_s": finish_s,
+                                   "compile": first_touch})
         for request in batch:
             collector.note_complete(request, finish_s)
         self._push(finish_s, _FREE, (index, batch))

@@ -66,6 +66,9 @@ class ServingReport:
     device_utilization: float = 0.0
     per_device_utilization: List[float] = field(default_factory=list)
     compiles: int = 0
+    #: Fraction of launched batches that found their model's programs
+    #: already resident on the device (no first-touch compile charge).
+    compile_cache_hit_rate: float = 0.0
     slo_multiplier: float = DEFAULT_SLO_MULTIPLIER
     slo_ms: Dict[str, float] = field(default_factory=dict)
     slo_attainment: float = 0.0
@@ -100,7 +103,12 @@ class ServingReport:
                                      f"{self.max_queue_depth}"),
             ("mean batch size", self.mean_batch_size),
             ("device utilization", self.device_utilization),
+            ("per-device utilization",
+             ", ".join(f"d{i} {u:.3f}"
+                       for i, u in enumerate(self.per_device_utilization))
+             or "(none)"),
             ("first-touch compiles", self.compiles),
+            ("compile-cache hit rate", self.compile_cache_hit_rate),
             ("SLO target", slo or "(none)"),
             ("SLO attainment", self.slo_attainment),
         ]
@@ -196,6 +204,8 @@ class MetricsCollector:
                                 if busy_s else 0.0),
             per_device_utilization=[b / horizon for b in busy_s],
             compiles=self.compiles,
+            compile_cache_hit_rate=(1.0 - self.compiles / len(self.batches)
+                                    if self.batches else 0.0),
             slo_multiplier=self.slo_multiplier,
             slo_ms={m: s * 1e3 for m, s in self.slo_s.items()},
             slo_attainment=(self.slo_met / self.offered

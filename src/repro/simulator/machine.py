@@ -33,6 +33,7 @@ from ..isa import (
     SyncFunc,
     TandemProgram,
 )
+from ..telemetry import get_telemetry
 from .alu import ALU_OPS, CALCULUS_OPS, COMPARISON_OPS, cast_value, wrap32
 from .dae import DataAccessEngine, DramStore, TileTransfer
 from .energy import EnergyLedger
@@ -175,6 +176,10 @@ class TandemMachine:
         self.dae = DataAccessEngine(self.dram, self.pads, self.params.dram,
                                     tp.frequency_hz)
         self.cast_mode: Optional[str] = None
+        #: Active telemetry session while ``run`` executes with telemetry
+        #: enabled; ``None`` otherwise, so instrumented paths pay one
+        #: attribute check and nothing else.
+        self._tel = None
         self._permute_config: Dict[str, list] = {"shape": [], "perm": []}
         #: Address-grid memo for the fast path, keyed on
         #: (base, strides, counts); grids are read-only once built.
@@ -192,6 +197,10 @@ class TandemMachine:
         collecting: Optional[int] = None
         body: List[Instruction] = []
         self._first_transfer = True
+        tel = get_telemetry()
+        self._tel = tel if tel.enabled else None
+        bytes_loaded0 = self.dae.bytes_loaded
+        bytes_stored0 = self.dae.bytes_stored
 
         for inst in program:
             result.instructions_decoded += 1
@@ -213,7 +222,82 @@ class TandemMachine:
 
         if collecting is not None:
             raise MachineError("program ended while collecting a loop body")
+        if self._tel is not None:
+            self._finish_run_counters(result, bytes_loaded0, bytes_stored0)
+            self._tel = None
         return result
+
+    # -- telemetry -----------------------------------------------------------
+    def _finish_run_counters(self, result: MachineResult,
+                             bytes_loaded0: int, bytes_stored0: int) -> None:
+        """Program-level counters: cycle breakdown, DAE overlap, traffic.
+
+        The overlap/stall split mirrors :meth:`MachineResult.pipelined_cycles`:
+        the DAE double-buffers against compute, so the shorter path hides
+        entirely and the difference stalls the tile on the longer one.
+        """
+        count = self._tel.count
+        compute = (result.compute_cycles + result.config_cycles
+                   + result.permute_cycles)
+        count("sim.cycles.total", result.cycles)
+        count("sim.cycles.compute", result.compute_cycles)
+        count("sim.cycles.config", result.config_cycles)
+        count("sim.cycles.permute", result.permute_cycles)
+        count("sim.cycles.dae", result.dae_cycles)
+        count("sim.insts.decoded", result.instructions_decoded)
+        count("sim.dae.overlap_cycles", min(compute, result.dae_cycles))
+        count("sim.stall.dae_bound_cycles",
+              max(0, result.dae_cycles - compute))
+        count("sim.stall.compute_bound_cycles",
+              max(0, compute - result.dae_cycles))
+        count("sim.dae.bytes_loaded", self.dae.bytes_loaded - bytes_loaded0)
+        count("sim.dae.bytes_stored", self.dae.bytes_stored - bytes_stored0)
+
+    _FUNC_ENUMS = {Opcode.ALU: AluFunc, Opcode.CALCULUS: CalculusFunc,
+                   Opcode.COMPARISON: ComparisonFunc}
+
+    def _count_nest(self, body: List[Instruction], counts: List[int],
+                    timing: NestTiming) -> None:
+        """Per-nest counters, derived statically from the body + counts.
+
+        Derivation from the instruction shapes (not from observed
+        scratchpad accesses) keeps the dumps identical between the
+        point-major interpreter and the instruction-major fast path.
+        """
+        count = self._tel.count
+        points = 1
+        for c in counts:
+            points *= c
+        word_bytes = 4
+        count("sim.code_repeater.fetches", len(body))
+        if points > 1:
+            count("sim.code_repeater.replays", (points - 1) * len(body))
+        count("sim.pipeline.vector_issues", timing.vector_issues)
+        if timing.reduce_tree_cycles:
+            count("sim.stall.reduce_tree_cycles", timing.reduce_tree_cycles)
+        count("sim.stall.pipeline_fill_cycles",
+              self.params.tandem.pipeline_depth)
+        for inst in body:
+            func_name = self._FUNC_ENUMS[inst.opcode](inst.func).name.lower()
+            count(f"sim.alu.ops.{inst.opcode.name.lower()}.{func_name}",
+                  points)
+            sources = ((inst.src1,) if self._is_unary(inst)
+                       else (inst.src1, inst.src2))
+            srcs = [src for src in sources if src is not None]
+            count("sim.iter_table.reads", points * (1 + len(srcs)))
+            dst_ns = inst.dst.ns.name.lower()
+            count(f"sim.spad.{dst_ns}.writes", points)
+            count(f"sim.spad.{dst_ns}.write_bytes", points * word_bytes)
+            if inst.opcode == Opcode.ALU and inst.func == int(AluFunc.MACC):
+                # The accumulator destination is read-modify-write.
+                count(f"sim.spad.{dst_ns}.reads", points)
+                count(f"sim.spad.{dst_ns}.read_bytes", points * word_bytes)
+            for src in srcs:
+                if src.ns != Namespace.IMM:
+                    src_ns = src.ns.name.lower()
+                    count(f"sim.spad.{src_ns}.reads", points)
+                    count(f"sim.spad.{src_ns}.read_bytes",
+                          points * word_bytes)
 
     # -- per-instruction dispatch ------------------------------------------------
     def _step(self, inst: Instruction, result: MachineResult,
@@ -228,10 +312,16 @@ class TandemMachine:
             result.sync_events.append(event)
             if event.func == SyncFunc.SIMD_END_BUF:
                 result.obuf_release_cycle = result.cycles
+            if self._tel is not None:
+                self._tel.count("sim.sync.events")
+                if event.func == SyncFunc.SIMD_END_BUF:
+                    self._tel.count("sim.obuf.handoffs")
         elif opcode == Opcode.ITERATOR_CONFIG:
             self._configure_iterator(inst)
             result.cycles += 1
             result.config_cycles += 1
+            if self._tel is not None:
+                self._tel.count("sim.iter_table.writes")
         elif opcode == Opcode.DATATYPE_CONFIG or opcode == Opcode.DATATYPE_CAST:
             self.cast_mode = DatatypeConfigFunc(inst.func).name.lower()
             if self.cast_mode == "fxp32":
@@ -340,6 +430,8 @@ class TandemMachine:
         timing = nest_timing(counts, metas, self.params.tandem,
                              self.params.overlay)
         charge_nest(timing, self.params, result)
+        if self._tel is not None:
+            self._count_nest(body, counts, timing)
 
     def _execute_point(self, inst: Instruction, point: Tuple[int, ...]) -> None:
         src1 = self._read_operand(inst.src1, point)
@@ -400,6 +492,9 @@ class TandemMachine:
         cycles += self.params.tandem.pipeline_depth
         result.cycles += cycles
         result.permute_cycles += cycles
+        if self._tel is not None:
+            self._tel.count("sim.permute.starts")
+            self._tel.count("sim.permute.words", words)
         energy = self.params.energy
         result.energy.spad_pj += 2 * words * energy.spad_pj_per_word
         result.energy.loop_addr_pj += (math.ceil(words / lanes) *
@@ -425,3 +520,6 @@ class TandemMachine:
         result.cycles += cycles
         result.dae_cycles += cycles
         result.energy.dram_pj += energy_pj
+        if self._tel is not None:
+            self._tel.count("sim.dae.loads" if func == LdStFunc.LD_START
+                            else "sim.dae.stores")

@@ -1,0 +1,234 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable) + counters.
+
+The trace file follows the Trace Event Format consumed by
+``chrome://tracing`` and https://ui.perfetto.dev: a top-level object
+with a ``traceEvents`` list of ``X`` (complete), ``i`` (instant) and
+``M`` (metadata) events. Host spans use real microseconds; device
+timelines map one unit-cycle to one microsecond (recorded in
+``otherData.timeUnits`` so readers can rescale). ``otherData`` also
+carries the merged hardware-counter dump and the timestamp-free
+canonical span tree — the two artifacts the determinism tests compare
+byte for byte.
+
+``validate_trace`` is the schema check shared by the tests and the CI
+``profile-smoke`` step.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .counters import CounterRegistry, format_counters
+from .spans import span_tree
+
+#: Event phases this exporter emits / the validator accepts.
+KNOWN_PHASES = ("X", "B", "E", "i", "C", "M")
+
+#: pid blocks: host snapshots take 0..N-1, device/serving tracks sit
+#: far above so merged snapshots can never collide with them.
+DEVICE_PID = 1000
+SERVING_PID = 2000
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+def chrome_trace(snapshots: Sequence[Mapping[str, Any]],
+                 device_events: Iterable[Dict[str, Any]] = (),
+                 extra_other_data: Optional[Mapping[str, Any]] = None,
+                 ) -> Dict[str, Any]:
+    """Merge telemetry snapshots (+ prebuilt device events) into a trace.
+
+    Snapshots are renumbered ``pid = 0..N-1`` in merge order — callers
+    pass them in a deterministic order (e.g. ``parallel_map`` output
+    order), which keeps the merged trace stable across ``--jobs`` runs.
+    """
+    events: List[Dict[str, Any]] = []
+    counters = CounterRegistry()
+    for pid, snapshot in enumerate(snapshots):
+        events.append(_metadata(pid, 0, "process_name",
+                                snapshot.get("label", "session")))
+        for span in snapshot.get("spans", ()):
+            events.append({
+                "ph": "X",
+                "name": span["name"],
+                "cat": span["cat"],
+                "pid": pid,
+                "tid": span["tid"],
+                "ts": span["ts_us"],
+                "dur": max(span["dur_us"], 0.0),
+                "args": dict(span.get("args", {})),
+            })
+        counters.merge(snapshot.get("counters", {}))
+    events.extend(device_events)
+    other: Dict[str, Any] = {
+        "counters": counters.as_dict(),
+        "spanTree": span_tree(snapshots),
+        "timeUnits": {"host": "us (wall clock)",
+                      "device": "us (1 unit-cycle = 1 us)",
+                      "serving": "us (simulated time)"},
+    }
+    if extra_other_data:
+        other.update(extra_other_data)
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": other}
+
+
+def _metadata(pid: int, tid: int, kind: str, name: str) -> Dict[str, Any]:
+    return {"ph": "M", "name": kind, "pid": pid, "tid": tid,
+            "args": {"name": name}}
+
+
+def tile_timeline_events(events: Iterable[Any],
+                         pid: int = DEVICE_PID) -> List[Dict[str, Any]]:
+    """The Figure 10 tile timeline as Chrome trace slices.
+
+    ``events`` are :class:`repro.npu.trace.TraceEvent`-shaped objects
+    (``block``/``unit``/``tile``/``start_cycle``/``end_cycle``); one
+    track per unit, one slice per (block, tile), one cycle = one µs.
+    """
+    tids = {"gemm": 0, "tandem": 1}
+    out = [
+        _metadata(pid, 0, "process_name", "NPU device (cycles)"),
+        _metadata(pid, 0, "thread_name", "GEMM unit"),
+        _metadata(pid, 1, "thread_name", "Tandem Processor"),
+    ]
+    for event in events:
+        out.append({
+            "ph": "X",
+            "name": f"{event.block}/t{event.tile}",
+            "cat": "device",
+            "pid": pid,
+            "tid": tids[event.unit],
+            "ts": float(event.start_cycle),
+            "dur": float(event.end_cycle - event.start_cycle),
+            "args": {"block": event.block, "unit": event.unit,
+                     "tile": event.tile,
+                     "start_cycle": event.start_cycle,
+                     "end_cycle": event.end_cycle},
+        })
+    return out
+
+
+#: tid of the reject track in the serving process group.
+_REJECT_TID = 999
+
+
+def serving_trace_events(log: Iterable[Mapping[str, Any]],
+                         pid: int = SERVING_PID) -> List[Dict[str, Any]]:
+    """Fleet request lifecycles (from ``FleetSimulator`` trace logs).
+
+    Batches become slices on per-device tracks in simulated time;
+    rejects become instant events on a dedicated track.
+    """
+    out = [_metadata(pid, _REJECT_TID, "thread_name", "rejected"),
+           _metadata(pid, 0, "process_name", "serving fleet (simulated)")]
+    devices_seen = set()
+    for entry in log:
+        if entry["kind"] == "batch":
+            device = entry["device"]
+            if device not in devices_seen:
+                devices_seen.add(device)
+                out.append(_metadata(pid, device, "thread_name",
+                                     f"device {device}"))
+            start_us = entry["start_s"] * 1e6
+            out.append({
+                "ph": "X",
+                "name": f"{entry['model']} x{entry['batch']}",
+                "cat": "serving",
+                "pid": pid,
+                "tid": device,
+                "ts": start_us,
+                "dur": max(entry["finish_s"] * 1e6 - start_us, 0.0),
+                "args": {"model": entry["model"], "batch": entry["batch"],
+                         "compile": entry.get("compile", False)},
+            })
+        else:  # reject / verify-reject
+            out.append({
+                "ph": "i",
+                "s": "t",
+                "name": entry["kind"],
+                "cat": "serving",
+                "pid": pid,
+                "tid": _REJECT_TID,
+                "ts": entry["t_s"] * 1e6,
+                "args": {"model": entry["model"]},
+            })
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Validation + IO
+# ---------------------------------------------------------------------------
+def validate_trace(payload: Any) -> None:
+    """Check ``payload`` against the trace-event schema; raise on error.
+
+    Covers what chrome://tracing / Perfetto actually require to load the
+    file: the ``traceEvents`` list, known phases, string names, integer
+    pid/tid, numeric non-negative timestamps, and durations on complete
+    events.
+    """
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(payload).__name__}")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace must carry a non-empty traceEvents list")
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append(f"{where}: missing/empty name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        if ph != "M":
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: ts must be a non-negative number")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    counters = payload.get("otherData", {}).get("counters")
+    if counters is not None and not isinstance(counters, dict):
+        problems.append("otherData.counters must be an object")
+    if problems:
+        raise ValueError("invalid trace-event JSON:\n  "
+                         + "\n  ".join(problems[:20]))
+
+
+def validate_trace_file(path: str) -> Dict[str, Any]:
+    """Load + validate a trace file; returns the parsed payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    validate_trace(payload)
+    return payload
+
+
+def write_trace(path: str, payload: Mapping[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = [
+    "DEVICE_PID",
+    "SERVING_PID",
+    "chrome_trace",
+    "format_counters",
+    "serving_trace_events",
+    "tile_timeline_events",
+    "validate_trace",
+    "validate_trace_file",
+    "write_trace",
+]

@@ -1,0 +1,105 @@
+"""Structured spans: nested timed regions with stable identities.
+
+A span covers one region of work (``compile``, ``verify``, one
+experiment, one serving batch). Spans nest: the tracer keeps a
+per-thread stack, stamps each span with its depth and a begin-order
+sequence number, and records wall time relative to the tracer's origin.
+
+Identity discipline — required for ``--jobs`` sweeps to merge cleanly:
+
+* sequence numbers are assigned at span *entry* under a lock, so begin
+  order is deterministic for a deterministic program;
+* the OS thread id is recorded raw here and normalized to a small index
+  at snapshot time (:meth:`repro.telemetry.Telemetry.snapshot`);
+* process identity lives on the snapshot, not the span, and exporters
+  renumber processes in merge order — so traces from different worker
+  processes never collide.
+
+:func:`span_tree` renders the timestamp-free canonical form used by the
+determinism tests: two identical runs must produce identical trees even
+though their wall-clock timings differ.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    cat: str
+    tid: int
+    ts_us: float
+    dur_us: float
+    depth: int          # 1 = root of its thread's stack
+    seq: int            # begin-order sequence number (deterministic)
+    args: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects nested spans; thread-safe, no global state."""
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._next_seq = 0
+        self._finished: List[SpanRecord] = []
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._origin) * 1e6
+
+    @contextmanager
+    def span(self, name: str, cat: str = "host", **args: Any):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            seq = self._next_seq
+            self._next_seq += 1
+        stack.append(name)
+        depth = len(stack)
+        start = self._now_us()
+        try:
+            yield
+        finally:
+            end = self._now_us()
+            stack.pop()
+            record = SpanRecord(
+                name=name, cat=cat, tid=threading.get_ident(),
+                ts_us=start, dur_us=end - start, depth=depth, seq=seq,
+                args=dict(args))
+            with self._lock:
+                self._finished.append(record)
+
+    def records(self) -> List[SpanRecord]:
+        """Finished spans in begin order (deterministic)."""
+        with self._lock:
+            return sorted(self._finished, key=lambda r: r.seq)
+
+
+def span_tree(snapshots: Iterable[Dict[str, Any]]) -> str:
+    """Canonical, timestamp-free rendering of one or more snapshots.
+
+    One header line per snapshot (its label), then one line per span in
+    begin order, indented by nesting depth, with sorted-key args. Byte
+    identical across runs whenever the traced work is deterministic.
+    """
+    lines: List[str] = []
+    for snapshot in snapshots:
+        lines.append(f"[{snapshot.get('label', 'session')}]")
+        for span in snapshot.get("spans", ()):
+            suffix = ""
+            if span.get("args"):
+                suffix = " " + json.dumps(span["args"], sort_keys=True,
+                                          default=str)
+            lines.append("  " * span["depth"] + span["name"] + suffix)
+    return "\n".join(lines)

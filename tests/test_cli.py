@@ -187,3 +187,45 @@ def test_lint_reports_info_findings(capsys):
     assert main(["lint", "resnet50"]) == 0
     out = capsys.readouterr().out
     assert "resnet50" in out
+
+
+def test_trace_json_export(capsys, tmp_path):
+    out_file = tmp_path / "timeline.json"
+    assert main(["trace", "tinynet", "--json", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "gemm" in out and "tandem" in out           # ASCII art still there
+    from repro.telemetry.export import validate_trace_file
+    payload = validate_trace_file(str(out_file))
+    slices = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert slices and all(e["cat"] == "device" for e in slices)
+    assert {e["tid"] for e in slices} <= {0, 1}        # GEMM + Tandem tracks
+
+
+def test_profile_smoke(capsys, tmp_path):
+    out_file = tmp_path / "profile.json"
+    assert main(["profile", "tinynet", "--trace-out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "hardware counters" in out
+    assert "npu.tandem.busy_cycles" in out
+    from repro.telemetry.export import validate_trace_file
+    payload = validate_trace_file(str(out_file))
+    names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert {"compile", "verify", "simulate"} <= names
+    assert any(e.get("cat") == "device" for e in payload["traceEvents"])
+    counters = payload["otherData"]["counters"]
+    assert counters["npu.tandem.busy_cycles"] > 0
+    assert counters["npu.total_cycles"] > 0
+
+
+def test_serve_trace_out(capsys, tmp_path):
+    out_file = tmp_path / "serve.json"
+    assert main(["serve", "--model", "tinynet", "--devices", "2",
+                 "--rate", "200", "--duration", "0.5",
+                 "--trace-out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "per-device utilization" in out
+    assert "compile-cache hit rate" in out
+    from repro.telemetry.export import validate_trace_file
+    payload = validate_trace_file(str(out_file))
+    assert any(e.get("cat") == "serving" for e in payload["traceEvents"])
+    assert payload["otherData"]["counters"]["serving.requests.offered"] > 0
