@@ -22,6 +22,7 @@ _FIXED_MM2 = 0.0224               # decode, Code Repeater, muxing, control
 
 @dataclass
 class AreaBreakdown:
+    """Per-structure silicon area of the Tandem Processor (mm^2)."""
     alu_mm2: float
     interim_buf_mm2: float
     permute_mm2: float
@@ -29,10 +30,12 @@ class AreaBreakdown:
 
     @property
     def total_mm2(self) -> float:
+        """Sum over every structure."""
         return (self.alu_mm2 + self.interim_buf_mm2 + self.permute_mm2
                 + self.other_mm2)
 
     def fractions(self) -> Dict[str, float]:
+        """Each structure's share of the total area."""
         total = self.total_mm2
         return {
             "alu": self.alu_mm2 / total,
@@ -43,6 +46,7 @@ class AreaBreakdown:
 
 
 def tandem_area(params: TandemParams = TandemParams()) -> AreaBreakdown:
+    """The Fig. 26 area breakdown at the given configuration."""
     return AreaBreakdown(
         alu_mm2=params.lanes * _ALU_MM2_PER_LANE,
         interim_buf_mm2=2 * params.interim_buf_kb * _SRAM_MM2_PER_KB,

@@ -24,6 +24,7 @@ from ..simulator.params import VpuOverlay
 
 @dataclass
 class OverheadResult:
+    """Non-GEMM overhead of one model on one design (Fig. 6)."""
     model: str
     mechanism: str
     nongemm_overhead: float   # "N-G" bars of Figure 6
@@ -40,6 +41,7 @@ _MECHANISMS = {
 def overhead_analysis(models: Optional[List[str]] = None,
                       config: Optional[NPUConfig] = None
                       ) -> List[OverheadResult]:
+    """Fraction of runtime a design spends outside the GEMM unit."""
     models = models or MODEL_ORDER
     config = config or table3_config()
     base_npu = NPUTandem(config)
@@ -58,6 +60,7 @@ def overhead_analysis(models: Optional[List[str]] = None,
 
 
 def average_overheads(results: List[OverheadResult]) -> Dict[str, Dict[str, float]]:
+    """Mean overhead per design across a model list."""
     out: Dict[str, Dict[str, float]] = {}
     for mechanism in _MECHANISMS:
         subset = [r for r in results if r.mechanism == mechanism]

@@ -44,6 +44,7 @@ def _require_close(derived: float, analytic: float, what: str) -> None:
 
 @dataclass
 class UtilizationComparison:
+    """GEMM/Tandem utilization of two designs on one model (Fig. 8)."""
     model: str
     gemm_util_tile: float
     tandem_util_tile: float
@@ -52,10 +53,12 @@ class UtilizationComparison:
 
     @property
     def gemm_gain(self) -> float:
+        """GEMM-unit utilization gain of the NPU over the baseline."""
         return self.gemm_util_tile - self.gemm_util_layer
 
     @property
     def tandem_gain(self) -> float:
+        """Non-GEMM-unit utilization gain over the baseline."""
         return self.tandem_util_tile - self.tandem_util_layer
 
 
@@ -80,6 +83,7 @@ def _counter_utilization(npu: NPUTandem, model: str) -> Tuple[float, float]:
 
 def utilization_comparison(models: Optional[List[str]] = None
                            ) -> List[UtilizationComparison]:
+    """Compare unit utilization between the NPU and a baseline."""
     models = models or MODEL_ORDER
     tile_npu = NPUTandem(overlap=True)
     layer_npu = NPUTandem(overlap=False)

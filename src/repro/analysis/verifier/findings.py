@@ -37,6 +37,7 @@ class Finding:
     snippet: str = ""          # disassembly of the offending word(s)
 
     def as_dict(self) -> Dict:
+        """JSON-able form of one finding."""
         return {
             "severity": str(self.severity),
             "rule": self.rule,
@@ -46,6 +47,7 @@ class Finding:
         }
 
     def render(self) -> str:
+        """One-line human-readable rendering."""
         where = f"@{self.pc:d}" if self.pc is not None else "@-"
         line = f"{str(self.severity):5s} {where:>6s} [{self.rule}] {self.message}"
         if self.snippet:
@@ -81,34 +83,42 @@ class VerifyReport:
     instructions: int = 0
 
     def extend(self, findings: Sequence[Finding]) -> None:
+        """Append findings to this report."""
         self.findings.extend(findings)
 
     def count(self, severity: Severity) -> int:
+        """Findings at exactly this severity."""
         return sum(1 for f in self.findings if f.severity == severity)
 
     @property
     def errors(self) -> int:
+        """Error-severity finding count."""
         return self.count(Severity.ERROR)
 
     @property
     def warnings(self) -> int:
+        """Warning-severity finding count."""
         return self.count(Severity.WARN)
 
     @property
     def infos(self) -> int:
+        """Info-severity finding count."""
         return self.count(Severity.INFO)
 
     @property
     def clean(self) -> bool:
+        """True when the report has no errors."""
         return self.errors == 0
 
     def by_rule(self) -> Dict[str, int]:
+        """Finding count per rule id."""
         counts: Dict[str, int] = {}
         for f in self.findings:
             counts[f.rule] = counts.get(f.rule, 0) + 1
         return dict(sorted(counts.items()))
 
     def as_dict(self) -> Dict:
+        """JSON-able form of the whole report."""
         return {
             "program": self.program,
             "instructions": self.instructions,
@@ -121,6 +131,7 @@ class VerifyReport:
         }
 
     def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Multi-line rendering at or above ``min_severity``."""
         shown = [f for f in self.findings if f.severity >= min_severity]
         head = (f"{self.program}: {self.instructions} words, "
                 f"{self.errors} error(s), {self.warnings} warning(s), "
@@ -139,25 +150,31 @@ class ModelVerifyReport:
 
     @property
     def findings(self) -> List[Finding]:
+        """Every finding across all block reports."""
         return [f for r in self.reports for f in r.findings]
 
     @property
     def errors(self) -> int:
+        """Error count summed over blocks."""
         return sum(r.errors for r in self.reports)
 
     @property
     def warnings(self) -> int:
+        """Warning count summed over blocks."""
         return sum(r.warnings for r in self.reports)
 
     @property
     def infos(self) -> int:
+        """Info count summed over blocks."""
         return sum(r.infos for r in self.reports)
 
     @property
     def clean(self) -> bool:
+        """True when no block report has errors."""
         return self.errors == 0
 
     def by_rule(self) -> Dict[str, int]:
+        """Finding count per rule id over all blocks."""
         counts: Dict[str, int] = {}
         for r in self.reports:
             for rule, n in r.by_rule().items():
@@ -165,6 +182,7 @@ class ModelVerifyReport:
         return dict(sorted(counts.items()))
 
     def as_dict(self) -> Dict:
+        """JSON-able form of the model-level report."""
         return {
             "model": self.model,
             "blocks": len(self.reports),
@@ -177,6 +195,7 @@ class ModelVerifyReport:
         }
 
     def to_json(self) -> str:
+        """The model-level report as a JSON string."""
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
 
     def record(self) -> Dict:
@@ -193,6 +212,7 @@ class ModelVerifyReport:
         }
 
     def render(self, min_severity: Severity = Severity.INFO) -> str:
+        """Multi-line rendering of every block report."""
         lines = [f"== {self.model}: {len(self.reports)} program(s), "
                  f"{self.errors} error(s), {self.warnings} warning(s), "
                  f"{self.infos} info(s) =="]

@@ -36,6 +36,7 @@ _COMPLEX_OPS = frozenset({
 
 @dataclass(frozen=True)
 class GpuParams:
+    """Datasheet parameters of one GPU (peak TOPS, bandwidth, power)."""
     name: str
     int8_tops: float                  # tensor-core peak, INT8
     fp_tflops: float                  # CUDA-core throughput for non-GEMM
@@ -87,10 +88,12 @@ class GpuDesign:
 
     @property
     def name(self) -> str:
+        """Design label used in reports (gpu:<chip>[-runtime])."""
         return f"{self.params.name}-{self.mode}"
 
     # -- per-node costs ---------------------------------------------------------
     def gemm_seconds(self, graph: Graph, node: Node) -> float:
+        """GEMM time from the roofline over the datasheet peaks."""
         cost = graph.node_cost(node)
         compute = cost.flops / (self.params.int8_tops * 1e12
                                 * self.params.gemm_efficiency)
@@ -99,6 +102,7 @@ class GpuDesign:
         return self.launch_s + max(compute, memory)
 
     def nongemm_seconds(self, graph: Graph, node: Node) -> float:
+        """Non-GEMM time: kernel-launch floor + memory-bound sweeps."""
         cost = graph.node_cost(node)
         if node.op_type == "DepthwiseConv":
             compute = cost.flops / (self.params.fp_tflops * 1e12
@@ -119,6 +123,7 @@ class GpuDesign:
 
     # -- end to end ----------------------------------------------------------------
     def evaluate(self, graph: Union[str, Graph]) -> RunResult:
+        """Latency/energy of one model on this GPU's analytic model."""
         if isinstance(graph, str):
             graph = build_model(graph)
         gemm_s = 0.0

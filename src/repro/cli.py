@@ -22,6 +22,15 @@ Commands:
   evaluation cache (``.repro_cache``; see :mod:`repro.runtime.cache`).
 * ``serve --model M --devices N --rate R`` — simulate a serving fleet
   of NPU-Tandem devices under load (see :mod:`repro.serving`).
+  ``--faults plan.json`` injects a fault plan; ``--resilience
+  {naive,resilient}`` picks the response policy (default: resilient
+  when faults are injected, naive otherwise).
+* ``chaos`` — sweep fault-rate scales x resilience policies and report
+  goodput retention vs the fault-free control (see
+  :mod:`repro.faults.chaos`).
+* ``docs`` — regenerate the ISA reference (``docs/isa.md``) from the
+  ISA definitions; ``--check`` fails when the checked-in file drifts,
+  ``--coverage`` gates docstring coverage instead.
 * ``verify TARGET... | --all`` — static verification of compiled Tandem
   programs (zoo model names, serialized ``compile --dump`` JSON, or raw
   program blobs); exit 1 on any error finding (``--strict``: warnings
@@ -69,12 +78,14 @@ def _result_row(result) -> tuple:
 
 
 def cmd_models(_args) -> int:
+    """List the model-zoo names, one per line."""
     for name in available_models():
         print(name)
     return 0
 
 
 def cmd_evaluate(args) -> int:
+    """Evaluate one model on one design point; optional per-op breakdown."""
     design = _DESIGNS[args.design]()
     result = cached_evaluate(design, args.model)
     print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
@@ -89,6 +100,7 @@ def cmd_evaluate(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    """Evaluate one model across every registered design class."""
     rows = [_result_row(cached_evaluate(_DESIGNS[name](), args.model))
             for name in _DESIGNS]
     print(render_table(("design", "latency (ms)", "energy (mJ)", "power (W)"),
@@ -97,6 +109,7 @@ def cmd_compare(args) -> int:
 
 
 def cmd_compile(args) -> int:
+    """Compile a model; optionally disassemble blocks or dump JSON."""
     from .compiler import dump_model
     npu = NPUTandem()
     model = npu.compile(args.model)
@@ -124,6 +137,7 @@ def _render_experiment(exp_id: str) -> str:
 
 
 def cmd_experiment(args) -> int:
+    """Regenerate paper figures/tables, optionally across processes."""
     jobs = args.jobs if args.jobs is not None else default_jobs()
     for text in parallel_map(_render_experiment, args.ids, jobs=jobs):
         print(text)
@@ -132,6 +146,7 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_cache(args) -> int:
+    """Inspect, clear, or print the path of the evaluation cache."""
     cache = get_cache()
     if args.action == "clear":
         cache.clear()
@@ -153,6 +168,7 @@ def cmd_cache(args) -> int:
 
 
 def cmd_trace(args) -> int:
+    """Render the tile timeline; optionally export a Chrome trace."""
     events = trace_model(args.model)
     print(render_timeline(events[:args.events], width=args.width))
     if args.json:
@@ -170,6 +186,7 @@ def cmd_trace(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    """Run one model with telemetry on: spans, counters, optional trace."""
     from .analysis.verifier import verify_model
     from .compiler import compile_model
     from .models import build_model
@@ -216,15 +233,25 @@ def cmd_profile(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    """Simulate a serving fleet; optional fault plan + resilience policy."""
+    from .faults import FaultPlan
     from .serving import (
         AdmissionPolicy,
         BatchPolicy,
         ClosedLoop,
         FleetSimulator,
         OpenLoopPoisson,
+        ResiliencePolicy,
         ServiceCosts,
     )
     models = [m.strip() for m in args.model.split(",") if m.strip()]
+    fault_plan = FaultPlan.from_file(args.faults) if args.faults else None
+    # Default policy: respond to injected faults, stay bit-identical to
+    # the pre-fault fleet when nothing is being injected.
+    resilience_kind = args.resilience or (
+        "resilient" if fault_plan is not None else "naive")
+    resilience = (ResiliencePolicy() if resilience_kind == "resilient"
+                  else ResiliencePolicy.naive())
     config_rows = [
         ("models", "+".join(models)),
         ("devices", args.devices),
@@ -236,6 +263,8 @@ def cmd_serve(args) -> int:
         ("duration (s)", args.duration),
         ("admission max queue", args.max_queue),
         ("SLO multiplier", args.slo_multiplier),
+        ("fault plan", fault_plan.name if fault_plan else "(none)"),
+        ("resilience", resilience_kind),
     ]
     if args.dry_run:
         print(render_table(("parameter", "value"), config_rows,
@@ -257,7 +286,9 @@ def cmd_serve(args) -> int:
         admission=AdmissionPolicy(args.max_queue),
         routing=args.routing,
         slo_multiplier=args.slo_multiplier,
-        collect_trace=bool(args.trace_out))
+        collect_trace=bool(args.trace_out),
+        fault_plan=fault_plan,
+        resilience=resilience)
     if args.trace_out:
         from .telemetry import Telemetry, scoped_telemetry
         from .telemetry.export import (
@@ -282,6 +313,116 @@ def cmd_serve(args) -> int:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
         print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Sweep fault-rate scales x resilience policies; report retention."""
+    from .faults import (
+        FaultPlan,
+        chaos_grid,
+        chaos_report,
+        chaos_report_json,
+        chaos_table,
+        default_plan,
+        run_chaos,
+        validate_chaos_report,
+    )
+    from .serving import RESILIENCE_POLICIES, ServiceCosts
+
+    plan = FaultPlan.from_file(args.plan) if args.plan else default_plan()
+    try:
+        scales = tuple(float(s) for s in args.scales.split(",") if s.strip())
+    except ValueError:
+        print(f"repro chaos: --scales must be comma-separated numbers, "
+              f"got {args.scales!r}", file=sys.stderr)
+        return 2
+    policies = tuple(p.strip() for p in args.policies.split(",")
+                     if p.strip())
+    unknown = [p for p in policies if p not in RESILIENCE_POLICIES]
+    if unknown:
+        print(f"repro chaos: unknown policies {', '.join(unknown)}; "
+              f"known: {', '.join(RESILIENCE_POLICIES)}", file=sys.stderr)
+        return 2
+    models = [m.strip() for m in args.model.split(",") if m.strip()]
+    costs = ServiceCosts.resolve(models)
+    points = chaos_grid(plan=plan, scales=scales, policies=policies,
+                        model=models[0], devices=args.devices,
+                        rate_rps=args.rate, duration_s=args.duration,
+                        costs=costs)
+    jobs = args.jobs if args.jobs is not None else 1
+    reports = run_chaos(points, jobs=jobs)
+    payload = chaos_report(points, reports)
+    problems = validate_chaos_report(payload)
+    if problems:  # pragma: no cover - internal invariant
+        print("repro chaos: invalid report:\n  " + "\n  ".join(problems),
+              file=sys.stderr)
+        return 1
+    print(chaos_table(payload))
+    for policy, entry in payload["summary"].items():
+        print(f"{policy}: worst goodput retention "
+              f"{entry['min_goodput_retention']:.4f} "
+              f"(baseline {entry['baseline_goodput_rps']:.2f} req/s)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(chaos_report_json(payload))
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_docs(args) -> int:
+    """Generate/check the ISA reference, or gate docstring coverage."""
+    import difflib
+    import os
+
+    from .docsgen import (
+        coverage_table,
+        docstring_coverage,
+        render_isa_reference,
+    )
+
+    if args.coverage:
+        report = docstring_coverage()
+        print(coverage_table(report))
+        if args.fail_under is not None and \
+                report.coverage * 100 < args.fail_under:
+            print(f"repro docs: docstring coverage "
+                  f"{report.coverage * 100:.1f}% is below the "
+                  f"--fail-under bar of {args.fail_under:.1f}%",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    rendered = render_isa_reference()
+    if args.stdout:
+        print(rendered, end="")
+        return 0
+    if args.check:
+        try:
+            with open(args.out) as handle:
+                on_disk = handle.read()
+        except FileNotFoundError:
+            print(f"repro docs: {args.out} does not exist; "
+                  f"run `repro docs` to generate it", file=sys.stderr)
+            return 1
+        if on_disk != rendered:
+            diff = difflib.unified_diff(
+                on_disk.splitlines(keepends=True),
+                rendered.splitlines(keepends=True),
+                fromfile=args.out, tofile="generated")
+            sys.stderr.writelines(list(diff)[:60])
+            print(f"repro docs: {args.out} has drifted from the ISA "
+                  f"definitions; run `repro docs` to regenerate",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.out} is up to date")
+        return 0
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    with open(args.out, "w") as handle:
+        handle.write(rendered)
+    print(f"wrote {args.out}")
     return 0
 
 
@@ -363,14 +504,17 @@ def _cmd_verify(args, lint_mode: bool) -> int:
 
 
 def cmd_verify(args) -> int:
+    """Static verification of compiled programs (errors fail)."""
     return _cmd_verify(args, lint_mode=False)
 
 
 def cmd_lint(args) -> int:
+    """Verification plus the info-tier findings."""
     return _cmd_verify(args, lint_mode=True)
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser with every subcommand registered."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tandem Processor (ASPLOS 2024) reproduction")
@@ -419,7 +563,11 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("stats", "clear", "path"),
                        nargs="?", default="stats")
 
-    from .serving import BATCH_POLICIES, ROUTING_POLICIES
+    from .serving import (
+        BATCH_POLICIES,
+        RESILIENCE_POLICIES,
+        ROUTING_POLICIES,
+    )
     serve = sub.add_parser("serve", help="simulate a serving fleet")
     serve.add_argument("--model", default="bert",
                        help="zoo model, or comma-separated mix")
@@ -450,8 +598,49 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the report as JSON")
     serve.add_argument("--trace-out", metavar="FILE",
                        help="write request lifecycles as a Chrome trace")
+    serve.add_argument("--faults", metavar="FILE",
+                       help="inject a fault plan (JSON; see repro.faults)")
+    serve.add_argument("--resilience", choices=RESILIENCE_POLICIES,
+                       default=None,
+                       help="fault response policy (default: resilient "
+                            "with --faults, naive otherwise)")
     serve.add_argument("--dry-run", action="store_true",
                        help="print the configuration and exit")
+
+    chaos = sub.add_parser("chaos",
+                           help="sweep fault rates x resilience policies")
+    chaos.add_argument("--model", default="bert",
+                       help="zoo model for the chaos workload")
+    chaos.add_argument("--devices", type=int, default=4)
+    chaos.add_argument("--rate", type=float, default=120.0,
+                       help="open-loop offered rate (req/s)")
+    chaos.add_argument("--duration", type=float, default=8.0,
+                       help="simulated traffic horizon (s)")
+    chaos.add_argument("--plan", metavar="FILE",
+                       help="fault plan JSON (default: built-in chaos plan)")
+    chaos.add_argument("--scales", default="0,0.5,1,2",
+                       help="comma-separated fault-rate multipliers")
+    chaos.add_argument("--policies",
+                       default=",".join(RESILIENCE_POLICIES),
+                       help="comma-separated resilience policies to sweep")
+    chaos.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for the sweep")
+    chaos.add_argument("--json", metavar="FILE",
+                       help="write the schema-tagged chaos report as JSON")
+
+    docs = sub.add_parser("docs",
+                          help="generate reference docs from the ISA")
+    docs.add_argument("--out", default="docs/isa.md", metavar="FILE",
+                      help="where the ISA reference lives")
+    docs.add_argument("--check", action="store_true",
+                      help="exit 1 if FILE drifts from generated output")
+    docs.add_argument("--stdout", action="store_true",
+                      help="print the generated reference instead")
+    docs.add_argument("--coverage", action="store_true",
+                      help="report docstring coverage instead of the ISA")
+    docs.add_argument("--fail-under", type=float, default=None,
+                      metavar="PCT",
+                      help="with --coverage: exit 1 below this percentage")
 
     for cmd_name, help_text in (
             ("verify", "statically verify compiled Tandem programs"),
@@ -478,12 +667,15 @@ _COMMANDS = {
     "profile": cmd_profile,
     "cache": cmd_cache,
     "serve": cmd_serve,
+    "chaos": cmd_chaos,
+    "docs": cmd_docs,
     "verify": cmd_verify,
     "lint": cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

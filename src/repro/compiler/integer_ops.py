@@ -44,6 +44,7 @@ def to_fixed(x, frac_bits: int = FRAC_BITS):
 
 
 def from_fixed(x, frac_bits: int = FRAC_BITS):
+    """Fixed-point words back to floats (testing convenience)."""
     return np.asarray(x, dtype=np.float64) / (1 << frac_bits)
 
 
@@ -52,24 +53,29 @@ def from_fixed(x, frac_bits: int = FRAC_BITS):
 # repro.simulator.alu exactly.
 # ---------------------------------------------------------------------------
 def w32(x):
+    """Wrap to signed 32-bit two's-complement range."""
     x = np.asarray(x, dtype=np.int64) & 0xFFFFFFFF
     return np.where(x >= 1 << 31, x - (1 << 32), x).astype(np.int64)
 
 
 def v_add(a, b):
+    """Elementwise ADD at 32-bit wraparound."""
     return w32(np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64))
 
 
 def v_sub(a, b):
+    """Elementwise SUB at 32-bit wraparound."""
     return w32(np.asarray(a, dtype=np.int64) - np.asarray(b, dtype=np.int64))
 
 
 def v_mul(a, b):
     # 64-bit internal product, wrapped at write-back.
+    """Elementwise MUL at 32-bit wraparound."""
     return w32(np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64))
 
 
 def v_div(a, b):
+    """Elementwise truncating DIV (zero divisor saturates to +/-INT_MAX)."""
     a = np.asarray(a, dtype=np.int64)
     b = np.asarray(b, dtype=np.int64)
     sat = np.where(a >= 0, (1 << 31) - 1, -(1 << 31))
@@ -80,38 +86,47 @@ def v_div(a, b):
 
 
 def v_rshift(a, n):
+    """Arithmetic right shift."""
     return np.asarray(a, dtype=np.int64) >> (np.asarray(n, dtype=np.int64) & 31)
 
 
 def v_lshift(a, n):
+    """Left shift at 32-bit wraparound."""
     return w32(np.asarray(a, dtype=np.int64) << (np.asarray(n, dtype=np.int64) & 31))
 
 
 def v_max(a, b):
+    """Elementwise maximum."""
     return np.maximum(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
 
 
 def v_min(a, b):
+    """Elementwise minimum."""
     return np.minimum(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
 
 
 def v_and(a, b):
+    """Bitwise AND."""
     return w32(np.asarray(a, dtype=np.int64) & np.asarray(b, dtype=np.int64))
 
 
 def v_or(a, b):
+    """Bitwise OR."""
     return w32(np.asarray(a, dtype=np.int64) | np.asarray(b, dtype=np.int64))
 
 
 def v_abs(a):
+    """Elementwise absolute value."""
     return w32(np.abs(np.asarray(a, dtype=np.int64)))
 
 
 def v_sign(a):
+    """Elementwise sign (-1, 0, +1)."""
     return np.sign(np.asarray(a, dtype=np.int64)).astype(np.int64)
 
 
 def v_neg(a):
+    """Elementwise negation."""
     return w32(-np.asarray(a, dtype=np.int64))
 
 
@@ -349,6 +364,7 @@ def leaky_relu_recipe(alpha: float, frac_bits: int = FRAC_BITS) -> List[Step]:
 
 
 def relu_recipe() -> List[Step]:
+    """ReLU as MAX against zero."""
     return [Step("max", "out", "x", 0)]
 
 
@@ -358,6 +374,7 @@ def floor_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
 
 
 def ceil_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
+    """Ceiling via add-then-mask at the fixed-point fraction boundary."""
     return [
         Step("add", "up", "x", (1 << frac_bits) - 1),
         Step("and", "out", "up", -(1 << frac_bits)),
@@ -365,10 +382,12 @@ def ceil_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
 
 
 def abs_recipe() -> List[Step]:
+    """Absolute value as a single CALCULUS step."""
     return [Step("abs", "out", "x")]
 
 
 def sign_recipe() -> List[Step]:
+    """Sign extraction as a single CALCULUS step."""
     return [Step("sign", "out", "x")]
 
 
@@ -381,6 +400,7 @@ def square_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
 
 
 def clip_recipe(lo: int, hi: int) -> List[Step]:
+    """Clamp into [lo, hi] via MIN/MAX steps."""
     return [
         Step("max", "low", "x", lo),
         Step("min", "out", "low", hi),
@@ -401,28 +421,35 @@ UNARY_RECIPES = {
 
 # Convenience bit-exact reference entry points.
 def i_exp(x, frac_bits: int = FRAC_BITS):
+    """Integer-only exponential (I-BERT-style polynomial)."""
     return run_recipe(exp_recipe(frac_bits), x)
 
 
 def i_erf(x, frac_bits: int = FRAC_BITS):
+    """Integer-only error function for i_gelu."""
     return run_recipe(erf_recipe(frac_bits), x)
 
 
 def i_gelu(x, frac_bits: int = FRAC_BITS):
+    """Integer-only GeLU: x * (1 + erf(x/sqrt(2))) / 2."""
     return run_recipe(gelu_recipe(frac_bits), x)
 
 
 def i_sigmoid(x, frac_bits: int = FRAC_BITS):
+    """Integer-only sigmoid via i_exp."""
     return run_recipe(sigmoid_recipe(frac_bits), x)
 
 
 def i_tanh(x, frac_bits: int = FRAC_BITS):
+    """Integer-only tanh via i_exp."""
     return run_recipe(tanh_recipe(frac_bits), x)
 
 
 def i_sqrt(x, frac_bits: int = FRAC_BITS):
+    """Integer-only square root (Newton iterations)."""
     return run_recipe(sqrt_recipe(frac_bits), x)
 
 
 def i_reciprocal(x, frac_bits: int = FRAC_BITS):
+    """Integer-only reciprocal (Newton iterations)."""
     return run_recipe(reciprocal_recipe(frac_bits), x)

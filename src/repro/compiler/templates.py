@@ -58,6 +58,7 @@ TEMPLATES: Dict[str, TemplateFn] = {}
 
 
 def template(*op_types: str):
+    """Register a lowering template for one operator type."""
     def wrap(fn: TemplateFn) -> TemplateFn:
         for op in op_types:
             TEMPLATES[op] = fn
@@ -153,17 +154,20 @@ def _emit_binary(ctx, node, graph, tiles, opcode, func):
 
 @template("Add", "Sub", "Mul", "Div", "Min", "Max", "BitShift")
 def t_binary(ctx, node, graph, tiles):
+    """Elementwise binary ops (Add/Sub/Mul/Div/Pow) over tiles."""
     _emit_binary(ctx, node, graph, tiles, Opcode.ALU, _BINARY_ALU[node.op_type])
 
 
 @template("Greater", "Equal", "Less")
 def t_compare(ctx, node, graph, tiles):
+    """Elementwise comparisons writing 0/1 masks."""
     _emit_binary(ctx, node, graph, tiles, Opcode.COMPARISON,
                  _BINARY_CMP[node.op_type])
 
 
 @template("Where")
 def t_where(ctx, node, graph, tiles):
+    """Mask-select between two operands (COND_MOVE)."""
     names = list(node.inputs) + list(node.params)
     cond, a, b = names[0], names[1], names[2]
     operands = [(cond, graph.tensor(cond).shape),
@@ -216,6 +220,7 @@ SPECIAL_FUNCTION_OPS = frozenset({
 @template("Relu", "LeakyRelu", "Clip", "Floor", "Ceil", "Abs", "Sign", "Pow",
           "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Reciprocal")
 def t_unary(ctx, node, graph, tiles):
+    """Unary ops + activation recipes from integer_ops."""
     out = graph.out_spec(node)
     elems = _split(out.numel, tiles)
     in_res = ctx.source(node.inputs[0], (elems,))
@@ -247,6 +252,7 @@ def _rows_cols(shape: Sequence[int], axis: int) -> Tuple[int, int]:
 
 @template("Softmax")
 def t_softmax(ctx, node, graph, tiles):
+    """Softmax: max-subtract, i_exp, sum, reciprocal-multiply."""
     spec = graph.tensor(node.inputs[0])
     rows, cols = _rows_cols(spec.shape, node.attr("axis", -1))
     rows_t = _split(rows, tiles)
@@ -297,6 +303,7 @@ def t_softmax(ctx, node, graph, tiles):
 
 @template("ReduceMean")
 def t_reduce_mean(ctx, node, graph, tiles):
+    """Mean reduction over the trailing axis."""
     spec = graph.tensor(node.inputs[0])
     rows, cols = _rows_cols(spec.shape, node.attr("axis", -1))
     rows_t = _split(rows, tiles)
@@ -314,6 +321,7 @@ def t_reduce_mean(ctx, node, graph, tiles):
 
 @template("GlobalAveragePool")
 def t_global_avgpool(ctx, node, graph, tiles):
+    """Global average pooling via accumulate + scale."""
     n, c, h, w = graph.tensor(node.inputs[0]).shape
     hw = h * w
     c_t = _split(c, tiles)
@@ -392,6 +400,7 @@ def _window_setup(ctx, node, graph, tiles, pad_value):
 
 @template("MaxPool", "AveragePool")
 def t_pool(ctx, node, graph, tiles):
+    """Windowed max/average pooling over spatial dims."""
     is_max = node.op_type == "MaxPool"
     pad_value = INT32_MIN if is_max else 0
     c, hp, wp, kh, kw, stride, oh_t, ow, x = _window_setup(
@@ -417,6 +426,7 @@ def t_pool(ctx, node, graph, tiles):
 
 @template("DepthwiseConv")
 def t_depthwise(ctx, node, graph, tiles):
+    """Depthwise convolution as per-channel MACC loops."""
     c, hp, wp, kh, kw, stride, oh_t, ow, x = _window_setup(
         ctx, node, graph, tiles, 0)
     weight = node.params[0]
@@ -439,6 +449,7 @@ def t_depthwise(ctx, node, graph, tiles):
 # ---------------------------------------------------------------------------
 @template("Transpose")
 def t_transpose(ctx, node, graph, tiles):
+    """Dimension permutation via the PERMUTE engine."""
     in_name = node.inputs[0]
     spec = graph.tensor(in_name)
     perm = tuple(node.attrs["perm"])
@@ -464,6 +475,7 @@ def _tile_shape(shape: Sequence[int], tiles: int) -> Tuple[int, ...]:
 
 @template("Reshape", "Flatten", "Split")
 def t_reshape(ctx, node, graph, tiles):
+    """Reshape/Flatten: iterator rebinding, no data movement."""
     in_name, out_name = node.inputs[0], node.outputs[0]
     out_shape = graph.out_spec(node).shape
     existing = ctx.resident(in_name)
@@ -505,6 +517,7 @@ def t_concat(ctx, node, graph, tiles):
 
 @template("Resize")
 def t_resize(ctx, node, graph, tiles):
+    """Nearest-neighbour upsampling via strided iterators."""
     n, c, h, w = graph.tensor(node.inputs[0]).shape
     scale = node.attr("scale", 2)
     h_t = _split(h, tiles)
@@ -525,6 +538,7 @@ def t_resize(ctx, node, graph, tiles):
 
 @template("Slice")
 def t_slice(ctx, node, graph, tiles):
+    """Strided slice via iterator base/stride setup."""
     in_name = node.inputs[0]
     spec = graph.tensor(in_name)
     out_shape = graph.out_spec(node).shape
@@ -568,6 +582,7 @@ def t_gather(ctx, node, graph, tiles):
     # Embedding lookup: the DAE streams one table row per token. This
     # template is cost-only (the benchmarks never run Gather through the
     # functional machine); the gathered rows land resident like a load.
+    """Indexed gather through the immediate-indexed iterators."""
     out = graph.out_spec(node)
     elems = _split(out.numel, tiles)
     table = node.params[0] if node.params else node.inputs[0]
@@ -583,6 +598,7 @@ def t_gather(ctx, node, graph, tiles):
 # ---------------------------------------------------------------------------
 @template("Cast")
 def t_cast(ctx, node, graph, tiles):
+    """Dtype conversion via DATATYPE_CAST."""
     out = graph.out_spec(node)
     elems = _split(out.numel, tiles)
     in_res = ctx.source(node.inputs[0], (elems,))

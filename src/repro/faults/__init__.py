@@ -1,0 +1,75 @@
+"""Fault injection + chaos sweeps for the serving fleet.
+
+Declarative, seeded fault plans (:mod:`~repro.faults.plan`), their
+deterministic materialization against one fleet configuration
+(:mod:`~repro.faults.injector`), word-level corruption of compiled
+Tandem programs shared with the verifier fuzz suite
+(:mod:`~repro.faults.corrupt`), and the ``repro chaos`` sweep that
+measures how much goodput each resilience policy retains as fault rates
+ramp (:mod:`~repro.faults.chaos`).
+
+Every stochastic decision is pinned by ``REPRO_SEED``: the same plan
+against the same workload replays the exact same disaster, serially or
+under ``--jobs``.
+"""
+
+from .chaos import (
+    CHAOS_SCHEMA,
+    DEFAULT_SCALES,
+    ChaosPoint,
+    chaos_grid,
+    chaos_report,
+    chaos_report_json,
+    chaos_table,
+    run_chaos,
+    run_chaos_point,
+    validate_chaos_report,
+)
+from .corrupt import (
+    CORRUPTION_KINDS,
+    corrupt_word,
+    corrupt_words,
+    measured_detection_rate,
+    model_sites,
+    word_sites,
+)
+from .injector import FAULT_KINDS, FaultInjector
+from .plan import (
+    BurstSpec,
+    CorruptSpec,
+    CrashSpec,
+    FaultPlan,
+    FlakyCompileSpec,
+    SlowdownSpec,
+    TileFaultSpec,
+    default_plan,
+)
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "CORRUPTION_KINDS",
+    "DEFAULT_SCALES",
+    "FAULT_KINDS",
+    "BurstSpec",
+    "ChaosPoint",
+    "CorruptSpec",
+    "CrashSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyCompileSpec",
+    "SlowdownSpec",
+    "TileFaultSpec",
+    "chaos_grid",
+    "chaos_report",
+    "chaos_report_json",
+    "chaos_table",
+    "corrupt_word",
+    "corrupt_words",
+    "default_plan",
+    "measured_detection_rate",
+    "model_sites",
+    "run_chaos",
+    "run_chaos_point",
+    "validate_chaos_report",
+    "word_sites",
+]

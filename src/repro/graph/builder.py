@@ -26,6 +26,7 @@ def _broadcast(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
 
 def conv_out_hw(h: int, w: int, kernel: Tuple[int, int], stride: int,
                 pad: int) -> Tuple[int, int]:
+    """Output height/width of a convolution (floor arithmetic)."""
     kh, kw = kernel
     return ((h + 2 * pad - kh) // stride + 1, (w + 2 * pad - kw) // stride + 1)
 
@@ -81,23 +82,28 @@ class GraphBuilder:
     # Public aliases for model code that needs parameter tensors or custom
     # node shapes (e.g. LayerNorm gamma/beta, attention masks).
     def param(self, prefix: str, shape: Sequence[int], dtype: str = "int32") -> str:
+        """Register a weight/constant tensor and return its name."""
         return self._param(prefix, shape, dtype)
 
     def emit(self, op_type: str, inputs: List[str], out_shape: Sequence[int],
              dtype: str = "int32", attrs: Optional[dict] = None,
              params: Optional[List[str]] = None) -> str:
+        """Append one op node; returns the output tensor name."""
         return self._emit(op_type, inputs, out_shape, dtype, attrs, params)
 
     def spec(self, name: str) -> TensorSpec:
+        """The spec of a previously-emitted tensor."""
         return self._spec(name)
 
     # -- graph boundary --------------------------------------------------------
     def input(self, name: str, shape: Sequence[int], dtype: str = "int8") -> str:
+        """Declare the graph input tensor."""
         self.graph.add_tensor(TensorSpec(name, tuple(shape), dtype))
         self.graph.mark_input(name)
         return name
 
     def finish(self, outputs: Iterable[str]) -> Graph:
+        """Mark outputs and return the finished Graph."""
         for out in outputs:
             self.graph.mark_output(out)
         self.graph.validate()
@@ -106,6 +112,7 @@ class GraphBuilder:
     # -- GEMM-class operators ----------------------------------------------------
     def conv(self, x: str, out_channels: int, kernel: int, stride: int = 1,
              pad: Optional[int] = None, groups: int = 1, bias: bool = True) -> str:
+        """2-D convolution (+ optional bias), NCHW."""
         x = self._as_int8(x)
         n, c, h, w = self._spec(x).shape
         pad = kernel // 2 if pad is None else pad
@@ -183,72 +190,91 @@ class GraphBuilder:
         return self._emit(op, [a, b], shape, "int32")
 
     def add(self, a: str, b: str) -> str:
+        """Elementwise addition."""
         return self._binary("Add", a, b)
 
     def sub(self, a: str, b: str) -> str:
+        """Elementwise subtraction."""
         return self._binary("Sub", a, b)
 
     def mul(self, a: str, b: str) -> str:
+        """Elementwise multiplication."""
         return self._binary("Mul", a, b)
 
     def div(self, a: str, b: str) -> str:
+        """Elementwise division."""
         return self._binary("Div", a, b)
 
     def pow(self, a: str, b: str) -> str:
+        """Elementwise power."""
         return self._binary("Pow", a, b)
 
     def _unary(self, op: str, x: str, attrs: Optional[dict] = None) -> str:
         return self._emit(op, [x], self._spec(x).shape, "int32", attrs)
 
     def exp(self, x: str) -> str:
+        """Elementwise exponential."""
         return self._unary("Exp", x)
 
     def sqrt(self, x: str) -> str:
+        """Elementwise square root."""
         return self._unary("Sqrt", x)
 
     def erf(self, x: str) -> str:
+        """Elementwise error function (GeLU's kernel)."""
         return self._unary("Erf", x)
 
     def reciprocal(self, x: str) -> str:
+        """Elementwise reciprocal."""
         return self._unary("Reciprocal", x)
 
     def add_scalar(self, x: str, value: float) -> str:
+        """Add a scalar constant to every element."""
         scalar = self._param("c_scalar", (1,), "int32")
         return self._emit("Add", [x], self._spec(x).shape, "int32",
                           {"scalar": value}, [scalar])
 
     def mul_scalar(self, x: str, value: float) -> str:
+        """Multiply every element by a scalar constant."""
         scalar = self._param("c_scalar", (1,), "int32")
         return self._emit("Mul", [x], self._spec(x).shape, "int32",
                           {"scalar": value}, [scalar])
 
     def div_scalar(self, x: str, value: float) -> str:
+        """Divide every element by a scalar constant."""
         scalar = self._param("c_scalar", (1,), "int32")
         return self._emit("Div", [x], self._spec(x).shape, "int32",
                           {"scalar": value}, [scalar])
 
     # -- activations -------------------------------------------------------------
     def relu(self, x: str) -> str:
+        """ReLU activation."""
         return self._unary("Relu", x)
 
     def leaky_relu(self, x: str, alpha: float = 0.1) -> str:
+        """LeakyReLU activation with the given slope."""
         return self._unary("LeakyRelu", x, {"alpha": alpha})
 
     def clip(self, x: str, lo: float = 0.0, hi: float = 6.0) -> str:
+        """Clamp every element into [lo, hi]."""
         return self._unary("Clip", x, {"min": lo, "max": hi})
 
     def sigmoid(self, x: str) -> str:
+        """Sigmoid activation."""
         return self._unary("Sigmoid", x)
 
     def tanh(self, x: str) -> str:
+        """Tanh activation."""
         return self._unary("Tanh", x)
 
     def gelu(self, x: str) -> str:
+        """GeLU activation (the paper's flagship emerging operator)."""
         return self._unary("Gelu", x)
 
     # -- reductions ----------------------------------------------------------------
     def maxpool(self, x: str, kernel: int, stride: Optional[int] = None,
                 pad: int = 0) -> str:
+        """2-D max pooling."""
         stride = stride or kernel
         n, c, h, w = self._spec(x).shape
         oh, ow = conv_out_hw(h, w, (kernel, kernel), stride, pad)
@@ -258,6 +284,7 @@ class GraphBuilder:
 
     def avgpool(self, x: str, kernel: int, stride: Optional[int] = None,
                 pad: int = 0) -> str:
+        """2-D average pooling."""
         stride = stride or kernel
         n, c, h, w = self._spec(x).shape
         oh, ow = conv_out_hw(h, w, (kernel, kernel), stride, pad)
@@ -266,11 +293,13 @@ class GraphBuilder:
         return self._emit("AveragePool", [x], (n, c, oh, ow), "int32", attrs)
 
     def global_avgpool(self, x: str) -> str:
+        """Global average pooling to 1x1."""
         n, c, h, w = self._spec(x).shape
         return self._emit("GlobalAveragePool", [x], (n, c, 1, 1), "int32",
                           {"reduced": h * w})
 
     def reduce_mean(self, x: str, axis: int, keepdims: bool = True) -> str:
+        """Mean reduction over one axis."""
         shape = list(self._spec(x).shape)
         axis = axis % len(shape)
         reduced = shape[axis]
@@ -282,16 +311,19 @@ class GraphBuilder:
                           {"axis": axis, "keepdims": keepdims, "reduced": reduced})
 
     def softmax(self, x: str, axis: int = -1) -> str:
+        """Softmax over the last axis."""
         return self._unary("Softmax", x, {"axis": axis})
 
     # -- layout ----------------------------------------------------------------------
     def transpose(self, x: str, perm: Sequence[int]) -> str:
+        """Permute tensor dimensions."""
         shape = self._spec(x).shape
         out_shape = tuple(shape[p] for p in perm)
         return self._emit("Transpose", [x], out_shape, self._spec(x).dtype,
                           {"perm": tuple(perm)})
 
     def reshape(self, x: str, shape: Sequence[int]) -> str:
+        """Reshape without moving data."""
         spec = self._spec(x)
         shape = tuple(shape)
         if prod(shape) != spec.numel:
@@ -299,21 +331,25 @@ class GraphBuilder:
         return self._emit("Reshape", [x], shape, spec.dtype, {"shape": shape})
 
     def flatten(self, x: str) -> str:
+        """Flatten to (N, -1)."""
         spec = self._spec(x)
         return self._emit("Flatten", [x], (spec.shape[0], prod(spec.shape[1:])),
                           spec.dtype)
 
     def concat(self, xs: Sequence[str], axis: int = 1) -> str:
+        """Concatenate tensors along one axis."""
         specs = [self._spec(x) for x in xs]
         shape = list(specs[0].shape)
         shape[axis] = sum(s.shape[axis] for s in specs)
         return self._emit("Concat", list(xs), shape, specs[0].dtype, {"axis": axis})
 
     def resize(self, x: str, scale: int = 2) -> str:
+        """Nearest-neighbour spatial upsampling."""
         n, c, h, w = self._spec(x).shape
         return self._emit("Resize", [x], (n, c, h * scale, w * scale),
                           self._spec(x).dtype, {"scale": scale})
 
     # -- type conversion ------------------------------------------------------------
     def cast(self, x: str, dtype: str) -> str:
+        """Cast to another dtype."""
         return self._emit("Cast", [x], self._spec(x).shape, dtype, {"to": dtype})

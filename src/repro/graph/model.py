@@ -32,10 +32,12 @@ class NodeCost:
 
     @property
     def bytes_total(self) -> int:
+        """All bytes moved: inputs + outputs + weights."""
         return self.bytes_in + self.bytes_out
 
     @property
     def arithmetic_intensity(self) -> float:
+        """MACs per byte moved (the roofline x-axis)."""
         return self.flops / max(self.bytes_total, 1)
 
 
@@ -58,12 +60,14 @@ class Graph:
 
     # -- construction ------------------------------------------------------
     def add_tensor(self, spec: TensorSpec) -> TensorSpec:
+        """Register a tensor spec under its name."""
         if spec.name in self.tensors:
             raise GraphError(f"tensor {spec.name!r} already defined in {self.name}")
         self.tensors[spec.name] = spec
         return spec
 
     def add_node(self, node: Node) -> Node:
+        """Append an operation node to the graph."""
         for out in node.outputs:
             if out in self._producer:
                 raise GraphError(f"tensor {out!r} produced twice")
@@ -72,34 +76,41 @@ class Graph:
         return node
 
     def mark_input(self, name: str) -> None:
+        """Declare a tensor as a graph input."""
         self.graph_inputs.append(name)
 
     def mark_output(self, name: str) -> None:
+        """Declare a tensor as a graph output."""
         self.graph_outputs.append(name)
 
     # -- queries -----------------------------------------------------------
     def tensor(self, name: str) -> TensorSpec:
+        """The spec registered under ``name``."""
         try:
             return self.tensors[name]
         except KeyError:
             raise GraphError(f"tensor {name!r} not defined in graph {self.name}") from None
 
     def producer(self, tensor_name: str) -> Optional[Node]:
+        """The node producing ``tensor`` (None for inputs)."""
         node_name = self._producer.get(tensor_name)
         if node_name is None:
             return None
         return self.node(node_name)
 
     def node(self, name: str) -> Node:
+        """The node with the given name."""
         for node in self.nodes:
             if node.name == name:
                 return node
         raise GraphError(f"node {name!r} not in graph {self.name}")
 
     def consumers(self, tensor_name: str) -> List[Node]:
+        """Every node reading ``tensor``."""
         return [n for n in self.nodes if tensor_name in n.inputs]
 
     def out_spec(self, node: Node) -> TensorSpec:
+        """The spec of a node's first output."""
         return self.tensor(node.outputs[0])
 
     # -- integrity ---------------------------------------------------------
@@ -155,24 +166,29 @@ class Graph:
 
     # -- census (Figures 1 and 2) -------------------------------------------
     def op_counts(self) -> Counter:
+        """Node count per operator type."""
         return Counter(node.op_type for node in self.nodes)
 
     def class_counts(self) -> Counter:
+        """Node count per operator class (gemm / non-gemm groups)."""
         return Counter(node.op_class for node in self.nodes)
 
     def gemm_fraction(self) -> float:
+        """Fraction of MACs spent in GEMM-class nodes."""
         counts = self.class_counts()
         gemm = counts.get(OpClass.GEMM, 0)
         total = sum(counts.values())
         return gemm / total if total else 0.0
 
     def non_gemm_operator_types(self) -> set:
+        """The distinct non-GEMM operator types used."""
         return {
             node.op_type for node in self.nodes if node.op_class in NON_GEMM_CLASSES
         }
 
     # -- cost model ----------------------------------------------------------
     def node_cost(self, node: Node) -> NodeCost:
+        """MACs and bytes moved for one node."""
         out = self.out_spec(node)
         bytes_out = sum(self.tensor(t).nbytes for t in node.outputs)
         bytes_in = sum(self.tensor(t).nbytes for t in node.inputs)
@@ -204,6 +220,7 @@ class Graph:
         return NodeCost(flops=flops, bytes_in=bytes_in, bytes_out=bytes_out)
 
     def total_cost(self) -> NodeCost:
+        """Summed cost over every node."""
         flops = bytes_in = bytes_out = 0
         for node in self.nodes:
             cost = self.node_cost(node)

@@ -33,6 +33,7 @@ from .report import paper_vs_measured, render_table
 
 @dataclass
 class Experiment:
+    """One paper figure/table: an id, a title, and a builder."""
     id: str
     title: str
     summary: Dict[str, Tuple[object, object]]  # metric -> (paper, measured)
@@ -40,6 +41,7 @@ class Experiment:
     notes: str = ""
 
     def render(self) -> str:
+        """The figure/table as fixed-width text."""
         parts = [paper_vs_measured(self.summary, f"{self.id}: {self.title}")]
         if self.table:
             parts.append(self.table)
@@ -52,6 +54,7 @@ EXPERIMENTS: Dict[str, Callable[[], Experiment]] = {}
 
 
 def experiment(exp_id: str):
+    """Decorator registering a builder under an experiment id."""
     def wrap(fn: Callable[[], Experiment]) -> Callable[[], Experiment]:
         EXPERIMENTS[exp_id] = fn
         return fn
@@ -59,6 +62,7 @@ def experiment(exp_id: str):
 
 
 def run_experiment(exp_id: str) -> Experiment:
+    """Build one experiment by id (raises KeyError on unknown)."""
     try:
         fn = EXPERIMENTS[exp_id]
     except KeyError:
@@ -68,6 +72,7 @@ def run_experiment(exp_id: str) -> Experiment:
 
 
 def all_experiment_ids() -> List[str]:
+    """Every registered experiment id, sorted."""
     return sorted(EXPERIMENTS)
 
 
@@ -82,31 +87,37 @@ def all_experiment_ids() -> List[str]:
 # any change to a design's parameters changes the key.
 # ---------------------------------------------------------------------------
 def npu_results() -> Dict[str, RunResult]:
+    """Cached NPU results for the whole zoo."""
     npu = NPUTandem()
     return {m: npu.evaluate(m) for m in MODEL_ORDER}
 
 
 def baseline1_results() -> Dict[str, RunResult]:
+    """Cached CPU-fallback (Baseline 1) results."""
     design = CpuFallbackDesign()
     return {m: cached_evaluate(design, m) for m in MODEL_ORDER}
 
 
 def baseline2_results() -> Dict[str, RunResult]:
+    """Cached dedicated-units (Baseline 2) results."""
     design = DedicatedUnitsDesign()
     return {m: cached_evaluate(design, m) for m in MODEL_ORDER}
 
 
 def gemmini_results(cores: int) -> Dict[str, RunResult]:
+    """Cached Gemmini results at the given vector width."""
     design = GemminiDesign(cores)
     return {m: cached_evaluate(design, m) for m in MODEL_ORDER}
 
 
 def vpu_ladders() -> Dict[str, Dict[str, RunResult]]:
+    """Cached TPU-VPU results across vector-lane ladders."""
     design = TpuVpuDesign()
     return {m: design.ablation_ladder(m) for m in MODEL_ORDER}
 
 
 def gpu_results(which: str, mode: str) -> Dict[str, RunResult]:
+    """Cached GPU results for one chip/runtime."""
     params = {"jetson": JETSON_XAVIER_NX, "rtx": RTX_2080_TI,
               "a100": A100}[which]
     design = GpuDesign(params, mode)
@@ -114,6 +125,7 @@ def gpu_results(which: str, mode: str) -> Dict[str, RunResult]:
 
 
 def scaled_npu_results() -> Dict[str, RunResult]:
+    """Cached NPU results at a scaled configuration."""
     npu = NPUTandem(iso_a100_config())
     return {m: npu.evaluate(m) for m in MODEL_ORDER}
 
@@ -128,6 +140,7 @@ def _avg(values) -> float:
 # ---------------------------------------------------------------------------
 @experiment("table1")
 def table1_operator_classes() -> Experiment:
+    """Table 1: operator-class taxonomy over the zoo."""
     rows = []
     measured_classes = {}
     for cls in NON_GEMM_CLASSES:
@@ -154,6 +167,7 @@ def table1_operator_classes() -> Experiment:
 
 @experiment("table2")
 def table2_design_classes() -> Experiment:
+    """Table 2: the design classes compared in the paper."""
     rows = [
         ("offchip CPU fallback", "no", "no", "yes", "yes"),
         ("dedicated on-chip units", "yes", "yes", "no", "no"),
@@ -181,6 +195,7 @@ def table2_design_classes() -> Experiment:
 
 @experiment("table3")
 def table3_configuration() -> Experiment:
+    """Table 3: the evaluated NPU configuration."""
     config = table3_config()
     paper = PAPER["table3"]
     tandem = config.sim.tandem
@@ -205,6 +220,7 @@ def table3_configuration() -> Experiment:
 # ---------------------------------------------------------------------------
 @experiment("fig01")
 def fig01_operator_diversity() -> Experiment:
+    """Fig. 1: distinct non-GEMM operators per model."""
     stats = analysis.operator_diversity()
     rows = [(DISPLAY_NAMES[s.model], s.year, s.nongemm_types,
              *(s.types_per_class[c] for c in NON_GEMM_CLASSES))
@@ -227,6 +243,7 @@ def fig01_operator_diversity() -> Experiment:
 
 @experiment("fig02")
 def fig02_cumulative_ops() -> Experiment:
+    """Fig. 2: cumulative new operators across models."""
     cumulative = analysis.cumulative_usage()
     rows = [(DISPLAY_NAMES[c.model], c.cumulative_gemm, c.cumulative_nongemm,
              c.gemm_fraction) for c in cumulative]
@@ -248,6 +265,7 @@ def fig02_cumulative_ops() -> Experiment:
 
 @experiment("fig03")
 def fig03_runtime_breakdown() -> Experiment:
+    """Fig. 3: GEMM vs non-GEMM runtime share."""
     data = analysis.figure3()
     rows = []
     for model, per_design in data.items():
@@ -277,6 +295,7 @@ def fig03_runtime_breakdown() -> Experiment:
 
 @experiment("fig05")
 def fig05_roofline() -> Experiment:
+    """Fig. 5: roofline placement of non-GEMM operators."""
     points = analysis.roofline()
     rows = [(p.operator, p.arithmetic_intensity, p.attainable_gops,
              "memory" if p.memory_bound else "compute") for p in points]
@@ -298,6 +317,7 @@ def fig05_roofline() -> Experiment:
 
 @experiment("fig06")
 def fig06_overheads() -> Experiment:
+    """Fig. 6: non-GEMM overhead per design class."""
     results = analysis.overhead_analysis()
     averages = analysis.average_overheads(results)
     paper = PAPER["fig06"]
@@ -326,6 +346,7 @@ def fig06_overheads() -> Experiment:
 
 @experiment("fig08")
 def fig08_utilization() -> Experiment:
+    """Fig. 8: unit utilization, NPU vs baseline."""
     comparisons = analysis.utilization_comparison()
     rows = [(c.model, c.gemm_util_tile, c.gemm_util_layer, c.tandem_util_tile,
              c.tandem_util_layer) for c in comparisons]
@@ -352,6 +373,7 @@ def fig08_utilization() -> Experiment:
 # ---------------------------------------------------------------------------
 @experiment("fig14")
 def fig14_speedups() -> Experiment:
+    """Fig. 14: end-to-end speedup over Baseline 1."""
     npu = npu_results()
     b1 = baseline1_results()
     b2 = baseline2_results()
@@ -377,6 +399,7 @@ def fig14_speedups() -> Experiment:
 
 @experiment("fig15")
 def fig15_energy() -> Experiment:
+    """Fig. 15: energy reduction over Baseline 1."""
     npu = npu_results()
     b1 = baseline1_results()
     b2 = baseline2_results()
@@ -398,6 +421,7 @@ def fig15_energy() -> Experiment:
 
 @experiment("fig16")
 def fig16_gemmini() -> Experiment:
+    """Fig. 16: speedup over Gemmini."""
     npu = npu_results()
     gm1 = gemmini_results(1)
     gm32 = gemmini_results(32)
@@ -429,6 +453,7 @@ def fig16_gemmini() -> Experiment:
 
 @experiment("fig17")
 def fig17_gemmini_breakdown() -> Experiment:
+    """Fig. 17: Gemmini runtime breakdown."""
     data = analysis.figure17()
     rows = [(DISPLAY_NAMES[m], f["gemm"], f["im2col_dedicated"], f["riscv"])
             for m, f in data.items()]
@@ -458,6 +483,7 @@ def _ladder_factor(ladders, frm: str, to: str) -> float:
 
 @experiment("fig18")
 def fig18_vpu_speedup() -> Experiment:
+    """Fig. 18: speedup vs the TPU-style VPU."""
     ladders = vpu_ladders()
     paper = PAPER["fig18"]
     final = {m: ladders[m]["vpu"].total_seconds
@@ -488,6 +514,7 @@ def fig18_vpu_speedup() -> Experiment:
 
 @experiment("fig19")
 def fig19_vpu_energy() -> Experiment:
+    """Fig. 19: energy vs the TPU-style VPU."""
     ladders = vpu_ladders()
     paper = PAPER["fig19"]
     ratio = {m: ladders[m]["vpu"].energy_joules
@@ -508,6 +535,7 @@ def fig19_vpu_energy() -> Experiment:
 
 @experiment("fig20")
 def fig20_perf_per_watt() -> Experiment:
+    """Fig. 20: performance per watt vs GPUs."""
     npu = npu_results()
     jetson = gpu_results("jetson", "tensorrt")
     rtx = gpu_results("rtx", "tensorrt")
@@ -533,6 +561,7 @@ def fig20_perf_per_watt() -> Experiment:
 
 @experiment("fig21")
 def fig21_a100() -> Experiment:
+    """Fig. 21: A100 comparison at datacenter scale."""
     npu = scaled_npu_results()
     trt = gpu_results("a100", "tensorrt")
     cuda = gpu_results("a100", "cuda")
@@ -559,6 +588,7 @@ def fig21_a100() -> Experiment:
 
 @experiment("fig22")
 def fig22_breakdown_a100() -> Experiment:
+    """Fig. 22: A100 runtime breakdown."""
     data = analysis.figure22()
     rows = []
     for model, per_design in data.items():
@@ -581,6 +611,7 @@ def fig22_breakdown_a100() -> Experiment:
 
 @experiment("fig23")
 def fig23_nongemm_speedup() -> Experiment:
+    """Fig. 23: non-GEMM-only speedups."""
     npu = scaled_npu_results()
     cuda = gpu_results("a100", "cuda")
     ratio = {m: cuda[m].nongemm_seconds / max(npu[m].nongemm_seconds, 1e-12)
@@ -603,6 +634,7 @@ def fig23_nongemm_speedup() -> Experiment:
 
 @experiment("fig24")
 def fig24_tandem_breakdown() -> Experiment:
+    """Fig. 24: Tandem Processor cycle breakdown."""
     data = analysis.figure24()
     rows = []
     for model, fractions in data.items():
@@ -633,6 +665,7 @@ def fig24_tandem_breakdown() -> Experiment:
 
 @experiment("fig25")
 def fig25_energy_breakdown() -> Experiment:
+    """Fig. 25: per-structure energy breakdown."""
     data = analysis.figure25()
     avg = {k: _avg(data[m][k] for m in MODEL_ORDER)
            for k in ("dram", "on_chip_sram", "alu", "loop_addr", "other")}
@@ -710,6 +743,7 @@ def serving_sweep() -> Experiment:
 
 @experiment("fig26")
 def fig26_area() -> Experiment:
+    """Fig. 26: Tandem Processor area breakdown."""
     breakdown = analysis.tandem_area()
     fractions = breakdown.fractions()
     paper = PAPER["fig26"]

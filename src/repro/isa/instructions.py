@@ -66,6 +66,7 @@ class Instruction:
 
     # -- encoding -----------------------------------------------------------
     def pack(self) -> int:
+        """This instruction as its 32-bit word."""
         if is_compute_opcode(self.opcode):
             src2 = self.src2 if self.src2 is not None else Operand(Namespace.IBUF1, 0)
             return pack_compute(
@@ -79,6 +80,7 @@ class Instruction:
 
     @property
     def func_name(self) -> str:
+        """The func field's enum name (for disassembly)."""
         enum = FUNC_ENUMS[self.opcode]
         try:
             return enum(self.func).name
@@ -120,15 +122,18 @@ def decode(word: int) -> Instruction:
 # Builder helpers (what the compiler's lowering pass emits)
 # ---------------------------------------------------------------------------
 def sync(func: SyncFunc, group_id: int = 0) -> Instruction:
+    """A SYNC word for GEMM/Tandem handshaking."""
     return Instruction(Opcode.SYNC, int(func), field5=group_id)
 
 
 def iterator_base(ns: Namespace, iter_idx: int, offset: int) -> Instruction:
+    """ITERATOR_CONFIG BASE_ADDR: set an iterator's start offset."""
     return Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.BASE_ADDR),
                        field3=int(ns), field5=iter_idx, imm=offset)
 
 
 def iterator_stride(ns: Namespace, iter_idx: int, stride: int) -> Instruction:
+    """ITERATOR_CONFIG STRIDE: set an iterator's per-trip step."""
     return Instruction(Opcode.ITERATOR_CONFIG, int(IteratorConfigFunc.STRIDE),
                        field3=int(ns), field5=iter_idx, imm=stride)
 
@@ -155,38 +160,46 @@ def set_immediate(slot: int, value: int) -> Tuple[Instruction, ...]:
 
 def alu(func: AluFunc, dst: Operand, src1: Operand,
         src2: Optional[Operand] = None) -> Instruction:
+    """An ALU compute word over (namespace, iterator) operands."""
     return Instruction(Opcode.ALU, int(func), dst=dst, src1=src1, src2=src2)
 
 
 def calculus(func: CalculusFunc, dst: Operand, src1: Operand) -> Instruction:
+    """A CALCULUS compute word (ABS/SIGN/NEG)."""
     return Instruction(Opcode.CALCULUS, int(func), dst=dst, src1=src1)
 
 
 def comparison(func: ComparisonFunc, dst: Operand, src1: Operand,
                src2: Operand) -> Instruction:
+    """A COMPARISON compute word writing a 0/1 mask."""
     return Instruction(Opcode.COMPARISON, int(func), dst=dst, src1=src1, src2=src2)
 
 
 def loop_iter(loop_id: int, iterations: int) -> Instruction:
+    """LOOP SET_ITER: trip count for one Code Repeater level."""
     return Instruction(Opcode.LOOP, int(LoopFunc.SET_ITER), field3=loop_id,
                        imm=iterations)
 
 
 def loop_num_inst(num_inst: int) -> Instruction:
+    """LOOP SET_NUM_INST: the repeater body size in words."""
     return Instruction(Opcode.LOOP, int(LoopFunc.SET_NUM_INST), imm=num_inst)
 
 
 def datatype_cast(target: DatatypeConfigFunc, src_dst: int = 0) -> Instruction:
+    """A DATATYPE_CAST word converting to the target dtype."""
     return Instruction(Opcode.DATATYPE_CAST, int(target), field3=src_dst)
 
 
 def permute(func: PermuteFunc, src_dst: int = 0, dim_idx: int = 0,
             imm: int = 0) -> Instruction:
+    """A PERMUTE word configuring/starting the layout engine."""
     return Instruction(Opcode.PERMUTE, int(func), field3=src_dst,
                        field5=dim_idx, imm=imm)
 
 
 def tile_ldst(func1: LdStFunc, buffer: Namespace = Namespace.IBUF1,
               loop_idx: int = 0, imm: int = 0) -> Instruction:
+    """A TILE_LD_ST word programming the Data Access Engine."""
     return Instruction(Opcode.TILE_LD_ST, int(func1), field3=int(buffer),
                        field5=loop_idx, imm=imm)

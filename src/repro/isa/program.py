@@ -37,9 +37,11 @@ class TandemProgram:
     instructions: List[Instruction] = field(default_factory=list)
 
     def append(self, inst: Instruction) -> None:
+        """Append one instruction and return it."""
         self.instructions.append(inst)
 
     def extend(self, insts: Iterable[Instruction]) -> None:
+        """Append a sequence of instructions."""
         self.instructions.extend(insts)
 
     def __len__(self) -> int:
@@ -50,10 +52,12 @@ class TandemProgram:
 
     # -- binary form ---------------------------------------------------------
     def pack(self) -> List[int]:
+        """The program as a list of 32-bit words."""
         return [inst.pack() for inst in self.instructions]
 
     @classmethod
     def unpack(cls, name: str, words: Iterable[int]) -> "TandemProgram":
+        """Rebuild a program by decoding packed words."""
         instructions = []
         for pc, word in enumerate(words):
             if not isinstance(word, int) or not 0 <= word < (1 << 32):
@@ -72,10 +76,12 @@ class TandemProgram:
         return cls(name, instructions)
 
     def to_bytes(self) -> bytes:
+        """Little-endian binary serialization of the packed words."""
         return b"".join(w.to_bytes(4, "little") for w in self.pack())
 
     @classmethod
     def from_bytes(cls, name: str, blob: bytes) -> "TandemProgram":
+        """Decode a program from its binary serialization."""
         if len(blob) % 4:
             raise ProgramDecodeError(
                 f"program blob for {name!r} is {len(blob)} bytes, not a "
@@ -86,16 +92,20 @@ class TandemProgram:
 
     # -- analyses -------------------------------------------------------------
     def opcode_histogram(self) -> Counter:
+        """Instruction count per opcode name."""
         return Counter(inst.opcode for inst in self.instructions)
 
     def compute_instruction_count(self) -> int:
+        """Number of ALU/CALCULUS/COMPARISON words."""
         return sum(1 for inst in self.instructions
                    if is_compute_opcode(inst.opcode))
 
     def config_instruction_count(self) -> int:
+        """Number of configuration-class words."""
         return len(self.instructions) - self.compute_instruction_count()
 
     def disassemble(self) -> str:
+        """Human-readable listing, one line per word."""
         lines = []
         for pc, inst in enumerate(self.instructions):
             lines.append(f"{pc:5d}: {inst.pack():08x}  {inst}")

@@ -32,26 +32,32 @@ class RunResult:
 
     @property
     def average_power_watts(self) -> float:
+        """Mean power: energy over total runtime."""
         if self.total_seconds == 0:
             return 0.0
         return self.energy_joules / self.total_seconds
 
     @property
     def throughput_per_second(self) -> float:
+        """Inferences per second (1 / latency)."""
         return 1.0 / self.total_seconds if self.total_seconds else 0.0
 
     def speedup_over(self, other: "RunResult") -> float:
+        """This result's latency advantage over ``other`` (x)."""
         return other.total_seconds / self.total_seconds
 
     def energy_reduction_over(self, other: "RunResult") -> float:
+        """Energy advantage over ``other`` (x less energy)."""
         return other.energy_joules / self.energy_joules
 
     def perf_per_watt(self) -> float:
+        """Throughput per watt (the Fig. 20 metric)."""
         power = self.average_power_watts
         return self.throughput_per_second / power if power else 0.0
 
 
 def geomean(values) -> float:
+    """Geometric mean of a sequence of positive values."""
     values = list(values)
     if not values:
         return 0.0

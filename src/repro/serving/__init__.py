@@ -24,10 +24,12 @@ from .metrics import (
 )
 from .scheduler import (
     BATCH_POLICIES,
+    RESILIENCE_POLICIES,
     AdmissionPolicy,
     BatchPolicy,
     Launch,
     ModelCost,
+    ResiliencePolicy,
     ServiceCosts,
     Wait,
     plan_batch,
@@ -54,6 +56,7 @@ from .workload import (
 __all__ = [
     "BATCH_POLICIES",
     "DEFAULT_SLO_MULTIPLIER",
+    "RESILIENCE_POLICIES",
     "ROUTING_POLICIES",
     "AdmissionPolicy",
     "BatchPolicy",
@@ -65,6 +68,7 @@ __all__ = [
     "ModelCost",
     "OpenLoopPoisson",
     "Request",
+    "ResiliencePolicy",
     "Router",
     "ServiceCosts",
     "ServingReport",

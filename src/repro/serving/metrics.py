@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .scheduler import ServiceCosts
 from .workload import Request
@@ -54,8 +54,26 @@ class ServingReport:
     completed: int = 0
     rejected: int = 0
     verify_rejected: int = 0        # refused: verification record dirty/missing
+    #: Requests that never completed: stuck on a crashed device with no
+    #: retry policy, or retried until the attempt/budget limit.
+    failed: int = 0
+    #: Completions whose outputs came from a corrupted resident program
+    #: (counted in ``completed`` but excluded from goodput and SLO).
+    bad_completions: int = 0
+    retries: int = 0                # request re-routes after a timeout
+    timeouts: int = 0               # per-request timeout expiries
+    compile_retries: int = 0        # flaky compiles retried in place
+    devices_ejected: int = 0        # circuit-breaker ejections
+    devices_readmitted: int = 0     # cooldown re-admissions
+    #: Injected-fault counts by kind (``device_crash``, ``tile_fault``,
+    #: ``corrupt_program``, ...), plus ``corrupt_detected`` for the
+    #: verifier's catches.
+    faults: Dict[str, int] = field(default_factory=dict)
     makespan_s: float = 0.0
     throughput_rps: float = 0.0
+    #: Good completions per second: completed, within SLO, and not
+    #: produced by a corrupted program — the resilience headline number.
+    goodput_rps: float = 0.0
     mean_latency_ms: float = 0.0
     p50_ms: float = 0.0
     p95_ms: float = 0.0
@@ -94,7 +112,16 @@ class ServingReport:
             ("completed", self.completed),
             ("rejected", self.rejected),
             ("verify-rejected", self.verify_rejected),
+            ("failed", self.failed),
+            ("bad completions", self.bad_completions),
+            ("retries (timeouts)", f"{self.retries} ({self.timeouts})"),
+            ("faults injected",
+             ", ".join(f"{k} {v}" for k, v in sorted(self.faults.items()))
+             or "(none)"),
+            ("devices ejected/readmitted",
+             f"{self.devices_ejected} / {self.devices_readmitted}"),
             ("throughput (req/s)", self.throughput_rps),
+            ("goodput (req/s)", self.goodput_rps),
             ("mean latency (ms)", self.mean_latency_ms),
             ("p50 latency (ms)", self.p50_ms),
             ("p95 latency (ms)", self.p95_ms),
@@ -132,6 +159,14 @@ class MetricsCollector:
         self.offered = 0
         self.rejected = 0
         self.verify_rejected = 0
+        self.failed = 0
+        self.bad_completions = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.compile_retries = 0
+        self.devices_ejected = 0
+        self.devices_readmitted = 0
+        self.faults: Dict[str, int] = {}
         self.slo_met = 0
         self.batches: List[int] = []
         self.queue_samples: List[int] = []
@@ -159,12 +194,32 @@ class MetricsCollector:
     def note_batch(self, size: int) -> None:
         self.batches.append(size)
 
-    def note_complete(self, request: Request, finish_s: float) -> None:
-        latency_s = finish_s - request.arrival_s
+    def note_complete(self, request: Request, finish_s: float,
+                      born_s: Optional[float] = None,
+                      bad: bool = False) -> None:
+        """One completion; latency runs from the *original* arrival.
+
+        ``born_s`` is the first-attempt arrival time for retried
+        requests — a retry must not launder its queueing history out of
+        the latency distribution. ``bad`` marks a completion produced
+        by a corrupted resident program: it counts as completed (the
+        device did the work) but never as good.
+        """
+        start_s = request.arrival_s if born_s is None else born_s
+        latency_s = finish_s - start_s
         self.latencies_ms.append(latency_s * 1e3)
-        if latency_s <= self.slo_s[request.model]:
+        if bad:
+            self.bad_completions += 1
+        elif latency_s <= self.slo_s[request.model]:
             self.slo_met += 1
         self.last_finish_s = max(self.last_finish_s, finish_s)
+
+    def note_failed(self, request: Request) -> None:
+        """A request that will never complete (crash loss / retries out)."""
+        self.failed += 1
+
+    def note_fault(self, kind: str, count: int = 1) -> None:
+        self.faults[kind] = self.faults.get(kind, 0) + count
 
     def report(self, *, models: Tuple[str, ...], devices: int,
                batch_policy: str, max_batch: int, max_wait_ms: float,
@@ -187,8 +242,17 @@ class MetricsCollector:
             completed=completed,
             rejected=self.rejected,
             verify_rejected=self.verify_rejected,
+            failed=self.failed,
+            bad_completions=self.bad_completions,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            compile_retries=self.compile_retries,
+            devices_ejected=self.devices_ejected,
+            devices_readmitted=self.devices_readmitted,
+            faults=dict(sorted(self.faults.items())),
             makespan_s=makespan,
             throughput_rps=completed / horizon,
+            goodput_rps=self.slo_met / horizon,
             mean_latency_ms=(sum(latencies) / completed
                              if completed else 0.0),
             p50_ms=percentile(latencies, 50),

@@ -51,6 +51,70 @@ class AdmissionPolicy:
     max_queue: int = 256
 
 
+#: Resilience disciplines: ``naive`` assumes nothing ever fails (the
+#: pre-fault fleet: no timeouts, no retries, no health tracking, no
+#: download verification); ``resilient`` turns on every mechanism below.
+RESILIENCE_POLICIES = ("naive", "resilient")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the fleet responds to injected faults.
+
+    Mechanisms (all consulted only when ``kind == "resilient"``):
+
+    * **Per-request timeouts + retry with exponential backoff.** A
+      request not completed within ``timeout_slo_multiple`` x its SLO
+      target is pulled back and re-routed after
+      ``backoff_base_s * 2**attempt``, at most ``max_retries`` times.
+      A request already executing on a *healthy* device is left to
+      finish (no duplicate completions) — the timeout only feeds the
+      health tracker.
+    * **Retry budget.** Fleet-wide retries are capped at
+      ``retry_budget_fraction`` x offered requests, so a mass outage
+      degrades into load shedding instead of a retry storm.
+    * **Circuit breaker.** ``eject_threshold`` consecutive failures
+      (timeouts, faulted launches) eject a device from routing; it is
+      re-admitted after a cooldown that doubles per consecutive eject
+      (``cooldown_s * cooldown_growth**k``) and resets on a successful
+      completion.
+    * **Tile-granularity re-execution.** A transient tile fault re-runs
+      only the faulted tiles (the paper's Fig. 10 tile unit) instead of
+      the whole batch invocation.
+    * **Download verification.** First-touch program downloads run the
+      static verifier; a corrupted program is caught, re-compiled and
+      re-downloaded instead of silently serving garbage.
+    """
+    kind: str = "resilient"
+    timeout_slo_multiple: float = 2.0
+    max_retries: int = 3
+    backoff_base_s: float = 2e-3
+    retry_budget_fraction: float = 0.25
+    eject_threshold: int = 3
+    cooldown_s: float = 0.5
+    cooldown_growth: float = 2.0
+    tile_retry: bool = True
+    verify_downloads: bool = True
+
+    def __post_init__(self):
+        if self.kind not in RESILIENCE_POLICIES:
+            raise ValueError(f"unknown resilience policy {self.kind!r}; "
+                             f"known: {', '.join(RESILIENCE_POLICIES)}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout_slo_multiple <= 0:
+            raise ValueError("timeout_slo_multiple must be positive")
+
+    @property
+    def active(self) -> bool:
+        return self.kind == "resilient"
+
+    @classmethod
+    def naive(cls) -> "ResiliencePolicy":
+        """The do-nothing policy (also the default fleet behaviour)."""
+        return cls(kind="naive")
+
+
 @dataclass(frozen=True)
 class Launch:
     """Launch the first ``count`` queued requests as one batch."""
@@ -109,6 +173,7 @@ class ModelCost:
     latency_s: float       # isolated batch-1 latency (NPUTandem.evaluate)
     compile_s: float       # first-touch compile + program-download cost
     verified: bool = True  # static-verification record present and clean
+    tiles: int = 1         # total tiles per invocation (re-execution unit)
 
 
 @dataclass(frozen=True)
@@ -127,16 +192,20 @@ class ServiceCosts:
         costs = {}
         for model in dict.fromkeys(models):
             latency = npu.evaluate(model).total_seconds
-            instructions = npu.compile(model).total_instructions()
+            compiled = npu.compile(model)
+            instructions = compiled.total_instructions()
             compile_s = (COMPILE_BASE_S
                          + COMPILE_PER_INSTRUCTION_S * instructions)
             # The static-verification record rides along so fleet
             # admission control can refuse models whose programs never
             # passed (or failed) the verifier without touching the
-            # compiler from inside the event loop.
+            # compiler from inside the event loop. The tile count is the
+            # fault-recovery unit: a transient tile fault re-executes
+            # tiles/total of the invocation, not the whole batch.
             record = npu.verify_record(model)
             verified = bool(record.get("clean", False))
-            costs[model] = ModelCost(latency, compile_s, verified)
+            tiles = max(1, sum(cb.tiles for cb in compiled.blocks))
+            costs[model] = ModelCost(latency, compile_s, verified, tiles)
         return cls(costs=costs, amortized_fraction=amortized_fraction)
 
     def models(self) -> Tuple[str, ...]:
@@ -152,6 +221,10 @@ class ServiceCosts:
         """Whether the model's verification record is present and clean."""
         cost = self.costs.get(model)
         return cost is not None and cost.verified
+
+    def tiles(self, model: str) -> int:
+        """Total tiles per invocation (the tile-retry granularity)."""
+        return self.costs[model].tiles
 
     def batch_service_s(self, model: str, batch: int) -> float:
         """Service time for one batch: fixed overhead + linear compute.

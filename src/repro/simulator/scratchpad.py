@@ -36,11 +36,13 @@ class Scratchpad:
             )
 
     def read(self, addr: int) -> int:
+        """Read one word at ``addr`` (counted for energy)."""
         self._check(addr)
         self.reads += 1
         return int(self.data[addr])
 
     def write(self, addr: int, value: int) -> None:
+        """Write one word at ``addr`` (counted for energy)."""
         self._check(addr)
         self.writes += 1
         self.data[addr] = _wrap_int32(value)
@@ -49,6 +51,7 @@ class Scratchpad:
     # caller accounts for accesses (DAE traffic is DRAM-side, GEMM-side
     # writes are charged to the GEMM unit's energy model).
     def load_block(self, base: int, values: np.ndarray) -> None:
+        """Bulk-load values starting at ``base`` (one count per word)."""
         end = base + values.size
         if end > self.words:
             raise ScratchpadError(
@@ -57,6 +60,7 @@ class Scratchpad:
         self.data[base:end] = values.reshape(-1).astype(np.int64)
 
     def store_block(self, base: int, count: int) -> np.ndarray:
+        """Bulk-read ``count`` words starting at ``base``."""
         end = base + count
         if end > self.words:
             raise ScratchpadError(
@@ -65,6 +69,7 @@ class Scratchpad:
         return self.data[base:end].copy()
 
     def reset_counters(self) -> None:
+        """Zero the read/write access counters."""
         self.reads = 0
         self.writes = 0
 
@@ -86,6 +91,7 @@ class ScratchpadFile:
     @classmethod
     def build(cls, interim_words: int, obuf_words: int, imm_slots: int,
               vmem_words: int) -> "ScratchpadFile":
+        """The standard scratchpad set for one configuration."""
         return cls({
             Namespace.IBUF1: Scratchpad("IBUF1", interim_words),
             Namespace.IBUF2: Scratchpad("IBUF2", interim_words),
@@ -98,11 +104,14 @@ class ScratchpadFile:
         return self.pads[ns]
 
     def total_reads(self) -> int:
+        """Reads summed over every scratchpad."""
         return sum(p.reads for p in self.pads.values())
 
     def total_writes(self) -> int:
+        """Writes summed over every scratchpad."""
         return sum(p.writes for p in self.pads.values())
 
     def reset_counters(self) -> None:
+        """Zero every scratchpad's access counters."""
         for pad in self.pads.values():
             pad.reset_counters()

@@ -113,6 +113,14 @@ def tile_timeline_events(events: Iterable[Any],
 
 #: tid of the reject track in the serving process group.
 _REJECT_TID = 999
+#: tid of the fault/retry lifecycle track in the serving process group.
+_FAULT_TID = 998
+
+#: Trace-log kinds that open/close a device-state window: crash..recover
+#: pairs become "outage" slices, eject..readmit pairs become "ejected"
+#: slices. True = opens the window.
+_FAULT_WINDOWS = {"crash": ("outage", True), "recover": ("outage", False),
+                  "eject": ("ejected", True), "readmit": ("ejected", False)}
 
 
 def serving_trace_events(log: Iterable[Mapping[str, Any]],
@@ -120,13 +128,23 @@ def serving_trace_events(log: Iterable[Mapping[str, Any]],
     """Fleet request lifecycles (from ``FleetSimulator`` trace logs).
 
     Batches become slices on per-device tracks in simulated time;
-    rejects become instant events on a dedicated track.
+    rejects become instant events on a dedicated track. Fault and retry
+    lifecycle entries land on a ``faults`` track: crash→recover and
+    eject→readmit pairs as complete slices (windows still open when the
+    log ends — e.g. a permanent crash — are closed at the last logged
+    time), everything else (timeouts, retries, tile faults, corrupt
+    downloads, ...) as instant events carrying the entry's fields.
     """
     out = [_metadata(pid, _REJECT_TID, "thread_name", "rejected"),
+           _metadata(pid, _FAULT_TID, "thread_name", "faults"),
            _metadata(pid, 0, "process_name", "serving fleet (simulated)")]
     devices_seen = set()
-    for entry in log:
-        if entry["kind"] == "batch":
+    entries = list(log)
+    end_s = max((e.get("finish_s", e["t_s"]) for e in entries), default=0.0)
+    open_windows: Dict[Any, float] = {}
+    for entry in entries:
+        kind = entry["kind"]
+        if kind == "batch":
             device = entry["device"]
             if device not in devices_seen:
                 devices_seen.add(device)
@@ -144,18 +162,56 @@ def serving_trace_events(log: Iterable[Mapping[str, Any]],
                 "args": {"model": entry["model"], "batch": entry["batch"],
                          "compile": entry.get("compile", False)},
             })
-        else:  # reject / verify-reject
+        elif kind in ("reject", "verify-reject", "queue-reject", "shed"):
             out.append({
                 "ph": "i",
                 "s": "t",
-                "name": entry["kind"],
+                "name": kind,
                 "cat": "serving",
                 "pid": pid,
                 "tid": _REJECT_TID,
                 "ts": entry["t_s"] * 1e6,
                 "args": {"model": entry["model"]},
             })
+        elif kind in _FAULT_WINDOWS:
+            label, opens = _FAULT_WINDOWS[kind]
+            key = (label, entry["device"])
+            if opens:
+                open_windows[key] = entry["t_s"]
+            else:
+                start_s = open_windows.pop(key, entry["t_s"])
+                out.append(_fault_slice(pid, label, entry["device"],
+                                        start_s, entry["t_s"]))
+        else:  # timeout / retry / tile-fault / corrupt-* / queue-burst ...
+            out.append({
+                "ph": "i",
+                "s": "t",
+                "name": kind,
+                "cat": "faults",
+                "pid": pid,
+                "tid": _FAULT_TID,
+                "ts": entry["t_s"] * 1e6,
+                "args": {k: v for k, v in entry.items()
+                         if k not in ("kind", "t_s")},
+            })
+    for (label, device), start_s in sorted(open_windows.items()):
+        out.append(_fault_slice(pid, label, device, start_s,
+                                max(end_s, start_s)))
     return out
+
+
+def _fault_slice(pid: int, label: str, device: int, start_s: float,
+                 end_s: float) -> Dict[str, Any]:
+    return {
+        "ph": "X",
+        "name": f"{label} d{device}",
+        "cat": "faults",
+        "pid": pid,
+        "tid": _FAULT_TID,
+        "ts": start_s * 1e6,
+        "dur": max((end_s - start_s) * 1e6, 0.0),
+        "args": {"device": device},
+    }
 
 
 # ---------------------------------------------------------------------------

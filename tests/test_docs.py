@@ -1,0 +1,99 @@
+"""The generated-docs layer: ISA reference, coverage gate, architecture.
+
+Three contracts:
+
+* ``docs/isa.md`` is *generated* (``repro docs``) and must stay
+  byte-identical to what :func:`repro.docsgen.render_isa_reference`
+  produces from the live encoder — the committed file cannot drift
+  from the ISA without this test failing.
+* The rendered reference is internally consistent with
+  :mod:`repro.isa`: every opcode, namespace and func enum appears.
+* Docstring coverage over ``src/repro`` stays above the CI gate
+  (``repro docs --coverage --fail-under``), and the hand-written
+  ``docs/architecture.md`` keeps its cross-links.
+"""
+
+import pathlib
+
+from repro.docsgen import (
+    coverage_table,
+    docstring_coverage,
+    module_coverage,
+    render_isa_reference,
+)
+from repro.isa import FUNC_ENUMS, Namespace, Opcode
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: CI's ``repro docs --coverage --fail-under`` threshold (keep in sync
+#: with .github/workflows/ci.yml).
+COVERAGE_GATE = 70.0
+
+
+def test_isa_reference_is_byte_identical_to_generator():
+    committed = (REPO / "docs" / "isa.md").read_text()
+    assert committed == render_isa_reference(), (
+        "docs/isa.md has drifted from the encoder; regenerate with "
+        "`repro docs`")
+
+
+def test_isa_reference_generation_is_deterministic():
+    assert render_isa_reference() == render_isa_reference()
+
+
+def test_isa_reference_covers_the_whole_isa():
+    text = render_isa_reference()
+    for opcode in Opcode:
+        assert f"`{opcode.name}`" in text, opcode
+    for namespace in Namespace:
+        assert f"`{namespace.name}`" in text, namespace
+    for enum_cls in set(FUNC_ENUMS.values()):
+        for func in enum_cls:
+            assert f"`{func.name}`" in text, func
+    # Field layout tables carry explicit bit positions.
+    assert "`[31:28]`" in text and "`[4:0]`" in text
+    # Generated-file banner so nobody hand-edits it.
+    assert "generated" in text.lower()
+
+
+def test_docstring_coverage_holds_the_ci_gate():
+    report = docstring_coverage()
+    assert report.total >= 400, "coverage walker lost most of the package"
+    percent = 100.0 * report.coverage
+    assert percent >= COVERAGE_GATE, (
+        f"docstring coverage {percent:.1f}% fell below the "
+        f"{COVERAGE_GATE:.0f}% gate:\n{coverage_table(report)}")
+
+
+def test_module_coverage_counts_public_defs(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        '"""Module docstring."""\n'
+        "def documented():\n"
+        '    """Yes."""\n'
+        "def bare():\n"
+        "    pass\n"
+        "def _private():\n"
+        "    pass\n"
+        "class Thing:\n"
+        '    """Doc."""\n'
+        "    def method(self):\n"
+        "        pass\n")
+    cov = module_coverage(path, "mod")
+    # module + documented + bare + Thing + Thing.method; _private skipped.
+    assert cov.total == 5
+    assert cov.documented == 3
+    assert "mod.bare" in cov.missing and "mod.Thing.method" in cov.missing
+    assert not any("_private" in name for name in cov.missing)
+
+
+def test_architecture_doc_is_cross_linked():
+    text = (REPO / "docs" / "architecture.md").read_text()
+    # The five layers and the worked example.
+    for anchor in ("graph", "compiler", "ISA", "simulators", "serving",
+                   "Life of a GeLU tile"):
+        assert anchor in text, anchor
+    # Companion-doc links.
+    assert "isa.md" in text
+    assert "../DESIGN.md" in text
+    assert "../README.md" in text

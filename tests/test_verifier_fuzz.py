@@ -8,10 +8,10 @@ machine, or produces different DRAM contents than the pristine run. The
 verifier must flag (with an error-severity finding) at least 95% of the
 bad mutants; corruptions that leave execution bit-identical are ignored.
 
-The corruption values are chosen to be *semantically* destructive
-(out-of-bounds walks, zero trips, body overruns, illegal namespaces) —
-the same classes of damage a buggy lowering pass or a bit-flipped
-program download would produce.
+The corruption machinery lives in :mod:`repro.faults.corrupt` — the
+same site enumeration and mutation values also drive the fault
+injector's corrupted-program-download model, so this suite is the
+ground truth for the detection rates chaos plans assume.
 """
 
 import dataclasses
@@ -21,14 +21,8 @@ import pytest
 
 from repro.analysis.verifier import verify_words
 from repro.compiler import compile_model
-from repro.isa import (
-    IteratorConfigFunc,
-    LoopFunc,
-    Opcode,
-    ProgramDecodeError,
-    TandemProgram,
-)
-from repro.isa.encoding import is_compute_opcode, unpack_fields
+from repro.faults.corrupt import CORRUPTION_KINDS, corrupt_word, model_sites
+from repro.isa import ProgramDecodeError, TandemProgram
 from repro.models import build_tinynet
 from repro.npu import FunctionalRunner
 from repro.runtime import seeded_rng
@@ -51,52 +45,6 @@ def pristine():
     runner.bind(bindings)
     baseline = runner.run(inputs)
     return graph, model, bindings, inputs, baseline
-
-
-def _sites(model):
-    """(class, block_idx, pc, word) for every mutable word in the model."""
-    sites = []
-    for bi, cb in enumerate(model.blocks):
-        if cb.tile is None:
-            continue
-        for pc, word in enumerate(cb.tile.program.pack()):
-            fields = unpack_fields(word)
-            opcode, func = fields["opcode"], fields["func"]
-            if opcode == Opcode.ITERATOR_CONFIG:
-                if func == int(IteratorConfigFunc.STRIDE):
-                    sites.append(("stride", bi, pc, word))
-                if func in (int(IteratorConfigFunc.BASE_ADDR),
-                            int(IteratorConfigFunc.STRIDE)):
-                    sites.append(("config-ns", bi, pc, word))
-            elif opcode == Opcode.LOOP:
-                if func == int(LoopFunc.SET_ITER):
-                    sites.append(("trip", bi, pc, word))
-                elif func == int(LoopFunc.SET_NUM_INST):
-                    sites.append(("body", bi, pc, word))
-            elif is_compute_opcode(opcode):
-                sites.append(("compute-ns", bi, pc, word))
-    return sites
-
-
-def _corrupt(kind, word, rng):
-    """Return the mutated 32-bit word for one corruption class."""
-    if kind == "stride":
-        # Stride large enough that any second trip walks off every pad.
-        stride = int(rng.choice([31000, -31000])) & 0xFFFF
-        return (word & ~0xFFFF) | stride
-    if kind == "trip":
-        # Zero trips (protocol violation) or a count that overruns pads.
-        imm = int(rng.choice([0, 29000, 31000]))
-        return (word & ~0xFFFF) | imm
-    if kind == "body":
-        # Grow the repeater body so it swallows words after the nest.
-        grow = int(rng.integers(5, 40))
-        return (word & ~0xFFFF) | ((word & 0xFFFF) + grow) & 0xFFFF
-    if kind == "config-ns":
-        return (word & ~(0x7 << 21)) | (6 << 21)  # namespace ids stop at 4
-    if kind == "compute-ns":
-        return (word & ~(0x7 << 21)) | (6 << 21)  # dst_ns field
-    raise AssertionError(kind)
 
 
 def _evaluate(pristine, block_idx, pc, new_word):
@@ -132,10 +80,9 @@ def test_verifier_catches_mutations_that_break_execution(pristine):
     _, model, *_ = pristine
     rng = seeded_rng("verifier-fuzz", "mutants")
     by_class = {}
-    for site in _sites(model):
+    for site in model_sites(model):
         by_class.setdefault(site[0], []).append(site)
-    assert set(by_class) == {"stride", "trip", "body", "config-ns",
-                             "compute-ns"}
+    assert set(by_class) == set(CORRUPTION_KINDS)
 
     bad_total = 0
     flagged_bad = 0
@@ -145,7 +92,7 @@ def test_verifier_catches_mutations_that_break_execution(pristine):
                            replace=False)
         for pick in picks:
             _, block_idx, pc, word = sites[int(pick)]
-            new_word = _corrupt(kind, word, rng)
+            new_word = corrupt_word(kind, word, rng)
             if new_word == word:
                 continue
             flagged, bad = _evaluate(pristine, block_idx, pc, new_word)
