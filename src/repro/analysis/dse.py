@@ -55,8 +55,8 @@ def config_for(point: DesignPoint,
 def _evaluate_point(work) -> Optional[DseResult]:
     """One grid point; module-level so worker processes can pickle it."""
     from ..compiler import CompileError
-    model, point, base = work
-    npu = NPUTandem(config_for(point, base))
+    model, point, base, autotune = work
+    npu = NPUTandem(config_for(point, base), autotune=autotune)
     try:
         run = npu.evaluate(model)
     except CompileError:
@@ -75,16 +75,19 @@ def sweep(model: str,
           interim_buf_kb: Sequence[int] = (32, 64, 128),
           array_dims: Sequence[int] = (32,),
           base: Optional[NPUConfig] = None,
-          jobs: int = 1) -> List[DseResult]:
+          jobs: int = 1,
+          autotune: Optional[bool] = None) -> List[DseResult]:
     """Evaluate one model across the configuration grid.
 
     Grid points are independent, so ``jobs > 1`` fans them out across
     worker processes; result order is the deterministic grid order
     either way, and every evaluation flows through the shared runtime
-    cache.
+    cache. ``autotune=True`` compiles each point with its own searched
+    pass pipeline (the per-point architecture changes which pipeline
+    wins); ``None`` follows ``REPRO_AUTOTUNE``.
     """
     from ..runtime import parallel_map
-    work = [(model, DesignPoint(lane_count, buf_kb, dim), base)
+    work = [(model, DesignPoint(lane_count, buf_kb, dim), base, autotune)
             for dim in array_dims
             for lane_count in lanes
             for buf_kb in interim_buf_kb]

@@ -8,8 +8,13 @@ Commands:
   ``gemmini32``, ``vpu``, ``jetson``, ``rtx2080ti``, ``a100-tensorrt``,
   ``a100-cuda``).
 * ``compare MODEL`` — one model across every design class.
-* ``compile MODEL [--disassemble N] [--dump FILE]`` — compile and
-  inspect/serialize the Tandem programs.
+* ``compile MODEL [--disassemble N] [--dump FILE] [--explain]
+  [--autotune]`` — compile and inspect/serialize the Tandem programs;
+  ``--explain`` narrates the pass pipeline, ``--autotune`` searches it
+  first.
+* ``autotune MODEL [--budget N] [--jobs N] [--json FILE]`` — search the
+  compiler pass pipeline for one model, scored by the cycle model (see
+  :mod:`repro.compiler.autotune`).
 * ``experiment ID [ID...] [--jobs N]`` — regenerate paper
   figures/tables, optionally across worker processes.
 * ``trace MODEL [--json FILE]`` — ASCII timeline of the
@@ -109,10 +114,24 @@ def cmd_compare(args) -> int:
 
 
 def cmd_compile(args) -> int:
-    """Compile a model; optionally disassemble blocks or dump JSON."""
+    """Compile a model; optionally explain, disassemble, or dump JSON."""
     from .compiler import dump_model
-    npu = NPUTandem()
-    model = npu.compile(args.model)
+    npu = NPUTandem(autotune=True if args.autotune else None)
+    if args.explain:
+        from .compiler import autotune_model, explain_compile
+        from .models import build_model
+        graph = build_model(args.model)
+        pipeline = None
+        if npu._autotune_active():
+            report = autotune_model(graph, npu.config, jobs=default_jobs(),
+                                    special_functions=npu.special_functions)
+            pipeline = report.best_pipeline()
+        model, lines = explain_compile(
+            graph, npu.config.sim, npu.config.gemm,
+            special_functions=npu.special_functions, pipeline=pipeline)
+        print("\n".join(lines))
+    else:
+        model = npu.compile(args.model)
     print(f"{args.model}: {len(model.blocks)} blocks, "
           f"{model.total_instructions()} Tandem instruction words")
     if args.disassemble:
@@ -129,6 +148,42 @@ def cmd_compile(args) -> int:
         with open(args.dump, "w") as handle:
             handle.write(dump_model(model))
         print(f"wrote {args.dump}")
+    return 0
+
+
+def cmd_autotune(args) -> int:
+    """Search the pass pipeline for one model; print/export the report."""
+    import json
+
+    from .compiler import autotune_model
+    from .models import build_model
+
+    npu = NPUTandem()
+    graph = build_model(args.model)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    report = autotune_model(graph, npu.config, budget=args.budget, jobs=jobs,
+                            special_functions=npu.special_functions)
+    rows = []
+    for cand in report.candidates:
+        cycles = cand["cycles"]
+        rows.append((cand["label"], cand["status"],
+                     f"{cycles:.0f}" if cycles is not None else "-",
+                     (f"{cycles / report.baseline_cycles:.4f}"
+                      if cycles is not None else "-")))
+    print(render_table(("pipeline", "status", "cycles", "vs default"), rows,
+                       title=f"autotune {args.model} "
+                             f"({report.strategy}, budget {report.budget}"
+                             f"{', cached' if report.cached else ''})"))
+    print(f"\nbest: {report.best_label} — {report.best_cycles:.0f} cycles, "
+          f"{report.improvement * 100:.2f}% below the default pipeline "
+          f"({report.counters['candidates']} candidates, "
+          f"{report.counters['verifier_rejects']} verifier-rejected, "
+          f"{report.counters['cache_hits']} cache hits)")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -538,6 +593,22 @@ def build_parser() -> argparse.ArgumentParser:
                              metavar="N", help="print N blocks' programs")
     compile_cmd.add_argument("--dump", metavar="FILE",
                              help="serialize the compiled model to JSON")
+    compile_cmd.add_argument("--explain", action="store_true",
+                             help="narrate the pass pipeline's decisions")
+    compile_cmd.add_argument("--autotune", action="store_true",
+                             help="search the pass pipeline first "
+                                  "(default: follow $REPRO_AUTOTUNE)")
+
+    autotune = sub.add_parser("autotune",
+                              help="search the compiler pass pipeline")
+    autotune.add_argument("model")
+    autotune.add_argument("--budget", type=int, default=None, metavar="N",
+                          help="candidate evaluations "
+                               "(default: $REPRO_AUTOTUNE_BUDGET or 16)")
+    autotune.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                          help="worker processes (default: $REPRO_JOBS)")
+    autotune.add_argument("--json", metavar="FILE",
+                          help="write the schema-tagged report as JSON")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate paper figures/tables")
@@ -662,6 +733,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "compare": cmd_compare,
     "compile": cmd_compile,
+    "autotune": cmd_autotune,
     "experiment": cmd_experiment,
     "trace": cmd_trace,
     "profile": cmd_profile,

@@ -1,12 +1,20 @@
 """The Tandem Processor compiler (Figure 13)."""
 
+from .autotune import (
+    AutotuneReport,
+    autotune_budget,
+    autotune_enabled,
+    autotune_model,
+)
 from .compiler import (
     CompiledBlock,
     CompiledModel,
     compile_model,
+    explain_compile,
     verify_record_for,
 )
-from .fusion import Block, external_outputs, form_blocks, split_block
+from .fusion import Block, external_outputs, form_blocks, split_at_depth, \
+    split_block
 from .integer_ops import (
     FRAC_BITS,
     Step,
@@ -34,6 +42,15 @@ from .ir import (
     recipe_body,
 )
 from .lowering import LoweredTile, lower_tile
+from .pipeline import (
+    KNOB_SPACE,
+    PassPipeline,
+    PipelineConfig,
+    PipelineState,
+    all_configs,
+    compiler_pass,
+    knob_space_size,
+)
 from .reference import ReferenceExecutor
 from .serialize import dump_model, load_blocks, tile_from_dict, tile_to_dict
 from .templates import TEMPLATES, emit_op
@@ -41,6 +58,19 @@ from .tiling import initial_tiles, search_tiles
 from .transforms import fission, fissionable, interchange, is_pointwise_parallel
 
 __all__ = [
+    "AutotuneReport",
+    "KNOB_SPACE",
+    "PassPipeline",
+    "PipelineConfig",
+    "PipelineState",
+    "all_configs",
+    "autotune_budget",
+    "autotune_enabled",
+    "autotune_model",
+    "compiler_pass",
+    "explain_compile",
+    "knob_space_size",
+    "split_at_depth",
     "fission",
     "fissionable",
     "interchange",

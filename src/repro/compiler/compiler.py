@@ -22,6 +22,8 @@ from .fusion import Block, external_outputs, form_blocks, split_block
 from .integer_ops import FRAC_BITS
 from .ir import CompileError, Resident, TileContext
 from .lowering import LoweredTile, lower_tile
+from .pipeline import PIPELINE_VERSION, PassPipeline, PipelineConfig, \
+    PipelineState
 from .templates import emit_op
 from .tiling import search_tiles
 
@@ -72,7 +74,9 @@ def _gemm_layer_cost(node: Node, graph: Graph,
 
 def _compile_block_tile(block: Block, graph: Graph, params: SimParams,
                         tiles: int, frac_bits: int,
-                        special_functions: bool = False) -> LoweredTile:
+                        special_functions: bool = False,
+                        pipeline: Optional[PassPipeline] = None,
+                        pass_log: Optional[Dict[str, int]] = None) -> LoweredTile:
     ctx = TileContext(params.tandem, frac_bits, strict=(tiles == 1),
                       special_functions=special_functions)
     if block.gemm is not None:
@@ -93,8 +97,28 @@ def _compile_block_tile(block: Block, graph: Graph, params: SimParams,
         if ctx.resident(name) is not None:
             dtype = graph.tensor(name).dtype
             ctx.store(name, element_bytes=DTYPE_BYTES[dtype])
-        # Tensors that were pure DRAM renames (reshape of off-chip data)
-        # or DAE-forwarded (Concat) are already off-chip.
+        elif pipeline is not None and name in ctx.dram_alias:
+            # A pure DRAM rename (reshape of off-chip data) escaping the
+            # block: consumers compiled into later blocks load ``name``
+            # itself, so the rename must be materialized with a real
+            # DAE round-trip. The seed's maximal fusion never splits a
+            # rename from its consumer, so this only arises (and only
+            # costs) under a pipeline that caps fusion depth.
+            spec = graph.tensor(name)
+            ctx.source(name, spec.shape,
+                       element_bytes=DTYPE_BYTES[spec.dtype])
+            ctx.store(name, element_bytes=DTYPE_BYTES[spec.dtype])
+        # Other non-resident outputs (e.g. DAE-forwarded Concat) are
+        # already off-chip under their own name.
+    if pipeline is not None and (pipeline.config.fission
+                                 or pipeline.config.interchange):
+        state = PipelineState(config=pipeline.config, ctx=ctx,
+                              op_ranges=op_ranges)
+        pipeline.run_nests(state)
+        op_ranges = state.op_ranges
+        if pass_log is not None:
+            for stage, applied in state.log:
+                pass_log[stage] = pass_log.get(stage, 0) + applied
     return lower_tile(ctx, f"{block.name}_tile",
                       reads_obuf=block.gemm is not None,
                       op_ranges=op_ranges)
@@ -102,16 +126,26 @@ def _compile_block_tile(block: Block, graph: Graph, params: SimParams,
 
 def _compile_key(graph: Graph, sim_params: SimParams,
                  gemm_params: SystolicParams, frac_bits: int,
-                 special_functions: bool) -> str:
+                 special_functions: bool,
+                 pipeline: Optional[PipelineConfig] = None) -> str:
     """Content address of the compiled artifact.
 
     Lowering and tiling read only ``sim_params.tandem`` (scratchpad
     capacities, lanes, iterator-table sizes); DRAM, energy and overlay
     parameters shape evaluation, not the artifact, so they stay out of
     the key and a cache hit is rebound to the requested ``sim_params``.
+
+    A default (or absent) pass pipeline contributes nothing to the key,
+    so artifacts compiled before pipelines existed keep hitting;
+    non-default pipelines extend the fingerprint with their knob dict.
     """
     from ..runtime.cache import fingerprint, graph_fingerprint
     from .serialize import FORMAT_VERSION
+    if pipeline is not None and not pipeline.is_default:
+        return fingerprint("compiled-model", FORMAT_VERSION,
+                           graph_fingerprint(graph), sim_params.tandem,
+                           gemm_params, frac_bits, special_functions,
+                           PIPELINE_VERSION, pipeline.as_dict())
     return fingerprint("compiled-model", FORMAT_VERSION,
                        graph_fingerprint(graph), sim_params.tandem,
                        gemm_params, frac_bits, special_functions)
@@ -126,7 +160,8 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
                   gemm_params: Optional[SystolicParams] = None,
                   frac_bits: int = FRAC_BITS,
                   special_functions: bool = False,
-                  verify: Optional[bool] = None) -> CompiledModel:
+                  verify: Optional[bool] = None,
+                  pipeline: Optional[PipelineConfig] = None) -> CompiledModel:
     """Compile a graph for the NPU-Tandem (Table 3 defaults).
 
     Compilation is content-cached (see :mod:`repro.runtime.cache`): a
@@ -142,6 +177,11 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
     ``"verified"``), so warm cache hits skip re-verification entirely.
     ``verify=None`` follows the ``REPRO_VERIFY`` environment variable
     (default on); pass ``verify=False`` to bypass explicitly.
+
+    ``pipeline`` selects a non-default pass pipeline
+    (:class:`~repro.compiler.pipeline.PipelineConfig`), typically one
+    chosen by :func:`repro.compiler.autotune.autotune_model`. Omitted or
+    default, the output is bit-identical to the fixed seed flow.
     """
     from ..runtime.cache import get_cache
     from ..telemetry import get_telemetry
@@ -149,6 +189,8 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
 
     sim_params = sim_params or SimParams()
     gemm_params = gemm_params or SystolicParams()
+    if pipeline is not None and pipeline.is_default:
+        pipeline = None
     if verify is None:
         verify = _verify_default()
     tel = get_telemetry()
@@ -157,7 +199,7 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
         key = None
         if cache.enabled:
             key = _compile_key(graph, sim_params, gemm_params, frac_bits,
-                               special_functions)
+                               special_functions, pipeline)
             hit = cache.get(
                 "compiled", key,
                 decode=lambda text: load_model(text, graph, sim_params,
@@ -170,7 +212,8 @@ def compile_model(graph: Graph, sim_params: Optional[SimParams] = None,
                                      gemm_params=gemm_params)
         with tel.span("lower", cat="compiler", model=graph.name):
             model = _compile_model_uncached(graph, sim_params, gemm_params,
-                                            frac_bits, special_functions)
+                                            frac_bits, special_functions,
+                                            pipeline)
         if verify:
             # Imported lazily: repro.analysis pulls in the DSE/NPU stack.
             from ..analysis.verifier import VerificationError, verify_model
@@ -221,13 +264,55 @@ def verify_record_for(graph: Graph, sim_params: Optional[SimParams] = None,
     return record
 
 
+def explain_compile(graph: Graph, sim_params: Optional[SimParams] = None,
+                    gemm_params: Optional[SystolicParams] = None,
+                    frac_bits: int = FRAC_BITS,
+                    special_functions: bool = False,
+                    pipeline: Optional[PipelineConfig] = None):
+    """Compile uncached and narrate the pass pipeline's decisions.
+
+    Returns ``(model, lines)`` where ``lines`` is the human-readable
+    account behind ``repro compile --explain``: the pipeline config,
+    each stage's description, how many times each pass actually applied,
+    and the resulting block/tile/instruction shape. Always runs the real
+    (uncached) flow so the log reflects this compile, not a cache hit.
+    """
+    sim_params = sim_params or SimParams()
+    gemm_params = gemm_params or SystolicParams()
+    config = pipeline or PipelineConfig()
+    pass_log: Dict[str, int] = {}
+    model = _compile_model_uncached(
+        graph, sim_params, gemm_params, frac_bits, special_functions,
+        None if config.is_default else config, pass_log)
+    lines = [f"pipeline: {config.label()}"]
+    lines.extend("  " + line for line in config.describe())
+    lines.append("applied:")
+    for stage in ("fuse_blocks", "loop_fission", "loop_interchange"):
+        lines.append(f"  {stage}: {pass_log.get(stage, 0)}")
+    tiles = sum(b.tiles for b in model.blocks)
+    lines.append(f"result: {len(model.blocks)} blocks, {tiles} tiles, "
+                 f"{model.total_instructions()} instructions")
+    return model, lines
+
+
 def _compile_model_uncached(graph: Graph, sim_params: SimParams,
                             gemm_params: SystolicParams, frac_bits: int,
-                            special_functions: bool) -> CompiledModel:
+                            special_functions: bool,
+                            pipeline: Optional[PipelineConfig] = None,
+                            pass_log: Optional[Dict[str, int]] = None
+                            ) -> CompiledModel:
     array = SystolicArray(gemm_params)
+    passes = PassPipeline(pipeline) if pipeline is not None else None
+    strategy = pipeline.tile_search if pipeline is not None else "pow2"
 
     compiled: List[CompiledBlock] = []
     pending = form_blocks(graph)
+    if passes is not None:
+        state = PipelineState(config=pipeline, blocks=pending)
+        pending = passes.run_blocks(state)
+        if pass_log is not None:
+            for stage, applied in state.log:
+                pass_log[stage] = pass_log.get(stage, 0) + applied
     while pending:
         block = pending.pop(0)
         gemm_cost = (None if block.gemm is None
@@ -236,17 +321,31 @@ def _compile_model_uncached(graph: Graph, sim_params: SimParams,
             compiled.append(CompiledBlock(block=block, tiles=1, tile=None,
                                           gemm_cost=gemm_cost))
             continue
+        # Per-attempt pass logs: only the chosen tile count's log counts
+        # toward the model-level summary.
+        attempt_logs: Dict[int, Dict[str, int]] = {}
+
+        def try_compile(t, block=block, attempt_logs=attempt_logs):
+            """Compile one tile-count candidate, capturing its pass log."""
+            tile_log: Dict[str, int] = {}
+            tile = _compile_block_tile(block, graph, sim_params, t,
+                                       frac_bits, special_functions,
+                                       pipeline=passes, pass_log=tile_log)
+            attempt_logs[t] = tile_log
+            return tile
+
         try:
-            tiles, tile = search_tiles(
-                block, graph, sim_params.tandem,
-                lambda t: _compile_block_tile(block, graph, sim_params, t,
-                                              frac_bits, special_functions))
+            tiles, tile = search_tiles(block, graph, sim_params.tandem,
+                                       try_compile, strategy=strategy)
         except CompileError as err:
             if "IMM BUF" in str(err) and len(block.ops) > 1:
                 # Too many distinct constants for one bundle: split it.
                 pending = split_block(block) + pending
                 continue
             raise
+        if pass_log is not None:
+            for stage, applied in attempt_logs.get(tiles, {}).items():
+                pass_log[stage] = pass_log.get(stage, 0) + applied
         compiled.append(CompiledBlock(
             block=block, tiles=tiles, tile=tile, gemm_cost=gemm_cost,
             stores=external_outputs(block, graph)))

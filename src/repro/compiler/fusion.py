@@ -87,3 +87,23 @@ def split_block(block: Block) -> List[Block]:
     first = Block(gemm=block.gemm, ops=block.ops[:mid])
     second = Block(gemm=None, ops=block.ops[mid:])
     return [first, second]
+
+
+def split_at_depth(block: Block, depth: int) -> List[Block]:
+    """Cap fusion depth: at most ``depth`` non-GEMM ops ride per block.
+
+    The first block keeps the GEMM (if any) plus the first ``depth``
+    bundled operators; the remaining operators are chunked into
+    Tandem-only blocks of at most ``depth`` ops each, preserving the
+    topological order ``form_blocks`` established. Blocks already within
+    the cap are returned unchanged.
+    """
+    if depth < 1:
+        raise ValueError(f"fusion depth must be >= 1, got {depth}")
+    if len(block.ops) <= depth:
+        return [block]
+    parts = [Block(gemm=block.gemm, ops=block.ops[:depth])]
+    rest = block.ops[depth:]
+    for i in range(0, len(rest), depth):
+        parts.append(Block(gemm=None, ops=rest[i:i + depth]))
+    return parts

@@ -1,0 +1,321 @@
+"""Composable, declarative compiler pass pipeline.
+
+The seed compiler applied one fixed flow to every model: greedy maximal
+fusion (``fusion.form_blocks``), power-of-two tile doubling
+(``tiling.search_tiles``) and no loop transformations. This module turns
+those decisions into a declarative :class:`PipelineConfig` — a small,
+hashable record of optimization knobs — executed by a
+:class:`PassPipeline` of ``compiler_pass``-decorated stages (the shape
+of Devito's ``dle_pass`` rewriter pipeline):
+
+* ``fuse_blocks`` — GEMM→non-GEMM fusion depth and block splitting
+  (:mod:`repro.compiler.fusion`),
+* ``loop_fission`` — split multi-instruction nest bodies where the
+  hazard checker proves it legal (:func:`repro.compiler.transforms.fission`),
+* ``loop_interchange`` — reorder nest levels so a unit-stride loop runs
+  innermost and vectorizes across the SIMD lanes, guarded by
+  :func:`repro.compiler.transforms.is_pointwise_parallel`,
+* tile-shape choice — the ``tile_search`` knob selects the
+  :func:`repro.compiler.tiling.search_tiles` strategy (``"pow2"``
+  doubling vs ``"exact"`` binary refinement).
+
+The default config reproduces the fixed flow bit-for-bit; non-default
+configs are searched per model by :mod:`repro.compiler.autotune` and
+scored with the cycle model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from functools import wraps
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .fusion import Block, split_at_depth
+from .ir import CompileError, Nest, TileContext
+from .transforms import fissionable, fission, interchange
+
+#: Bump when knob semantics change so cached autotune verdicts and
+#: pipeline-keyed compile artifacts from older code versions miss.
+PIPELINE_VERSION = 1
+
+#: Legal values per knob, in deterministic search order. This is the
+#: domain :mod:`repro.compiler.autotune` explores; the first value of
+#: each knob is the seed compiler's fixed choice.
+KNOB_SPACE: Dict[str, Tuple] = {
+    "fusion_depth": (None, 1, 2, 4),
+    "tile_search": ("pow2", "exact"),
+    "fission": (False, True),
+    "interchange": (False, True),
+}
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Declarative description of one compile pipeline.
+
+    Field semantics:
+
+    * ``fusion_depth`` — maximum non-GEMM operators bundled behind their
+      producing GEMM; remaining operators form depth-sized Tandem-only
+      blocks. ``None`` fuses everything up to the next GEMM (seed
+      behavior).
+    * ``tile_search`` — ``"pow2"`` doubles the tile count until the
+      block fits on-chip (seed behavior); ``"exact"`` additionally
+      binary-refines down to the smallest feasible count, trading a few
+      extra compile attempts for fewer per-tile overheads.
+    * ``fission`` — split multi-instruction nest bodies into
+      single-instruction nests where the write-after-read hazard check
+      proves instruction-major order safe.
+    * ``interchange`` — move a unit-stride loop level innermost when the
+      current innermost level defeats SIMD vectorization, guarded by the
+      point-wise-parallelism legality check.
+    """
+
+    fusion_depth: Optional[int] = None
+    tile_search: str = "pow2"
+    fission: bool = False
+    interchange: bool = False
+
+    def __post_init__(self):
+        if self.tile_search not in KNOB_SPACE["tile_search"]:
+            raise ValueError(f"unknown tile_search {self.tile_search!r}")
+        if self.fusion_depth is not None and self.fusion_depth < 1:
+            raise ValueError("fusion_depth must be None or >= 1")
+
+    @property
+    def is_default(self) -> bool:
+        """True when every knob matches the seed compiler's fixed flow."""
+        return self == PipelineConfig()
+
+    def as_dict(self) -> Dict:
+        """JSON-ready knob dict (round-trips via :meth:`from_dict`)."""
+        return {
+            "fusion_depth": self.fusion_depth,
+            "tile_search": self.tile_search,
+            "fission": self.fission,
+            "interchange": self.interchange,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PipelineConfig":
+        """Rebuild a config from :meth:`as_dict` output."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def label(self) -> str:
+        """Compact one-line rendering, e.g. ``depth=2/tiles=exact``."""
+        depth = "max" if self.fusion_depth is None else str(self.fusion_depth)
+        parts = [f"depth={depth}", f"tiles={self.tile_search}"]
+        if self.fission:
+            parts.append("fission")
+        if self.interchange:
+            parts.append("interchange")
+        return "/".join(parts)
+
+    def describe(self) -> List[str]:
+        """Human-readable stage list for ``repro compile --explain``."""
+        depth = ("unbounded (fuse to the next GEMM)"
+                 if self.fusion_depth is None
+                 else f"at most {self.fusion_depth} ops per GEMM")
+        return [
+            f"fuse_blocks:      GEMM→non-GEMM fusion depth {depth}",
+            f"tile_search:      {self.tile_search} "
+            + ("(doubling only)" if self.tile_search == "pow2"
+               else "(doubling + binary refinement to the minimum)"),
+            f"loop_fission:     {'on (where hazard-free)' if self.fission else 'off'}",
+            f"loop_interchange: {'on (where point-wise parallel)' if self.interchange else 'off'}",
+        ]
+
+
+def knob_space_size() -> int:
+    """Number of distinct :class:`PipelineConfig` points in the domain."""
+    size = 1
+    for values in KNOB_SPACE.values():
+        size *= len(values)
+    return size
+
+
+def all_configs() -> List[PipelineConfig]:
+    """Every config in :data:`KNOB_SPACE`, in deterministic order."""
+    out: List[PipelineConfig] = []
+    for depth in KNOB_SPACE["fusion_depth"]:
+        for tile_search in KNOB_SPACE["tile_search"]:
+            for fiss in KNOB_SPACE["fission"]:
+                for ichg in KNOB_SPACE["interchange"]:
+                    out.append(PipelineConfig(
+                        fusion_depth=depth, tile_search=tile_search,
+                        fission=fiss, interchange=ichg))
+    return out
+
+
+def compiler_pass(func):
+    """Decorator marking a :class:`PassPipeline` stage (à la ``dle_pass``).
+
+    The wrapper records ``(stage name, application count)`` into the
+    state's log and bumps a ``compiler.pipeline.<stage>`` telemetry
+    counter, so ``--explain`` and traces can show exactly what each
+    stage did to the program.
+    """
+    name = func.__name__.lstrip("_")
+
+    @wraps(func)
+    def wrapper(self, state, *args, **kwargs):
+        from ..telemetry import get_telemetry
+        applied = func(self, state, *args, **kwargs)
+        state.log.append((name, int(applied)))
+        tel = get_telemetry()
+        if tel.enabled and applied:
+            tel.count(f"compiler.pipeline.{name}", int(applied))
+        return applied
+
+    wrapper.is_compiler_pass = True
+    return wrapper
+
+
+@dataclass
+class PipelineState:
+    """Mutable state threaded through one pipeline run.
+
+    The block phase reads/writes ``blocks``; the nest phase reads/writes
+    one tile's ``ctx`` and its operator-attribution ``op_ranges`` (event
+    index ranges that must be remapped when passes insert or split
+    events). ``log`` accumulates ``(stage, applied)`` pairs across both
+    phases.
+    """
+
+    config: PipelineConfig
+    blocks: Optional[List[Block]] = None
+    ctx: Optional[TileContext] = None
+    op_ranges: Optional[List[Tuple[str, int, int]]] = None
+    log: List[Tuple[str, int]] = field(default_factory=list)
+
+
+class PassPipeline:
+    """Executes the configured passes over blocks and loop nests."""
+
+    def __init__(self, config: PipelineConfig):
+        self.config = config
+
+    # -- block phase -------------------------------------------------------
+    def run_blocks(self, state: PipelineState) -> List[Block]:
+        """Apply block-level passes; returns the rewritten block list."""
+        self._fuse_blocks(state)
+        return state.blocks
+
+    @compiler_pass
+    def _fuse_blocks(self, state: PipelineState) -> int:
+        """Cap GEMM→non-GEMM fusion depth, splitting over-deep bundles."""
+        depth = self.config.fusion_depth
+        if depth is None:
+            return 0
+        splits = 0
+        rewritten: List[Block] = []
+        for block in state.blocks:
+            parts = split_at_depth(block, depth)
+            splits += len(parts) - 1
+            rewritten.extend(parts)
+        state.blocks = rewritten
+        return splits
+
+    # -- nest phase --------------------------------------------------------
+    def run_nests(self, state: PipelineState) -> None:
+        """Apply nest-level passes to one tile's emitted IR in place."""
+        if self.config.fission:
+            self._loop_fission(state)
+        if self.config.interchange:
+            self._loop_interchange(state)
+
+    @compiler_pass
+    def _loop_fission(self, state: PipelineState) -> int:
+        """Split legal multi-instruction nests into per-instruction nests."""
+        applied = 0
+
+        def rewrite(event):
+            nonlocal applied
+            if (isinstance(event, Nest) and len(event.body) > 1
+                    and fissionable(event)):
+                applied += 1
+                return fission(event)
+            return [event]
+
+        _rewrite_events(state, rewrite)
+        return applied
+
+    @compiler_pass
+    def _loop_interchange(self, state: PipelineState) -> int:
+        """Move a unit-stride level innermost where legal and profitable."""
+        applied = 0
+
+        def rewrite(event):
+            nonlocal applied
+            if not isinstance(event, Nest):
+                return [event]
+            order = vector_order(event)
+            if order is None:
+                return [event]
+            try:
+                swapped = interchange(event, order)
+            except CompileError:
+                return [event]  # legality check rejected the reorder
+            applied += 1
+            return [swapped]
+
+        _rewrite_events(state, rewrite)
+        return applied
+
+
+def vector_order(nest: Nest) -> Optional[Sequence[int]]:
+    """A loop order that lets the nest body vectorize, if one exists.
+
+    The pipeline model (Section 4.1) vectorizes the innermost level only
+    when every operand walks it with stride 0 or 1. When the current
+    innermost level defeats that and another level satisfies it for
+    every reference, return the permutation moving that level (the
+    largest such, for the fewest issue chunks) innermost; otherwise
+    return ``None``.
+    """
+    if len(nest.loops) < 2:
+        return None
+    refs = []
+    for stmt in nest.body:
+        refs.append(stmt.dst)
+        refs.append(stmt.src1)
+        if stmt.src2 is not None:
+            refs.append(stmt.src2)
+
+    def unit_stride(var: str) -> bool:
+        return all(ref.stride(var) in (0, 1) for ref in refs)
+
+    inner_var = nest.loops[-1][0]
+    if unit_stride(inner_var):
+        return None
+    best = None
+    for i, (var, count) in enumerate(nest.loops[:-1]):
+        if count > 1 and unit_stride(var):
+            if best is None or count > nest.loops[best][1]:
+                best = i
+    if best is None:
+        return None
+    return [j for j in range(len(nest.loops)) if j != best] + [best]
+
+
+def _rewrite_events(state: PipelineState, rewrite) -> None:
+    """Map ``rewrite`` over the tile's event list, remapping op ranges.
+
+    ``rewrite(event)`` returns the replacement event list (length >= 1
+    for 1:1 passes, > 1 for splitting passes). Operator attribution
+    ranges are half-open event-index ranges, so they are translated
+    through the old-index → new-index prefix map.
+    """
+    ctx = state.ctx
+    new_events: List[object] = []
+    prefix: List[int] = []  # prefix[i] = new index of old event i
+    for event in ctx.events:
+        prefix.append(len(new_events))
+        new_events.extend(rewrite(event))
+    prefix.append(len(new_events))
+    ctx.events = new_events
+    ctx.nests = [e for e in new_events if isinstance(e, Nest)]
+    if state.op_ranges is not None:
+        state.op_ranges = [(label, prefix[start], prefix[end])
+                           for label, start, end in state.op_ranges]

@@ -21,7 +21,7 @@ heuristic).
 from __future__ import annotations
 
 from math import ceil
-from typing import Callable, Tuple
+from typing import Callable, Dict, Tuple, Union
 
 from ..graph import Graph
 from ..simulator.params import TandemParams
@@ -30,6 +30,9 @@ from .ir import CompileError
 
 #: Upper bound on the doubling search; 2^20 tiles would mean a broken model.
 _MAX_DOUBLINGS = 20
+
+#: Tile-count search strategies accepted by :func:`search_tiles`.
+STRATEGIES = ("pow2", "exact")
 
 
 def initial_tiles(block: Block, graph: Graph, params: TandemParams) -> int:
@@ -42,23 +45,65 @@ def initial_tiles(block: Block, graph: Graph, params: TandemParams) -> int:
 
 
 def search_tiles(block: Block, graph: Graph, params: TandemParams,
-                 try_compile: Callable[[int], object]) -> Tuple[int, object]:
+                 try_compile: Callable[[int], object],
+                 strategy: str = "pow2") -> Tuple[int, object]:
     """Find the smallest feasible tile count; returns (tiles, compiled).
 
     ``try_compile(tiles)`` must either return the compiled tile or raise
-    :class:`CompileError` when the tile does not fit on-chip.
+    :class:`CompileError` when the tile does not fit on-chip. Every
+    attempted count is memoized, so no count is compiled (and its cycle
+    model evaluated) more than once within one search, regardless of how
+    the phases below revisit it.
+
+    ``strategy`` selects how far the search goes:
+
+    * ``"pow2"`` — double from the Output BUF lower bound until the
+      block fits (the seed behavior).
+    * ``"exact"`` — after the doubling phase finds a feasible power-of-
+      two multiple, binary-search the half-open interval between the
+      last infeasible count and the found one for the true minimum.
+      Fewer tiles means fewer per-tile pipeline fills and config
+      instructions, at the price of O(log) extra compile attempts.
     """
-    tiles = initial_tiles(block, graph, params)
-    last_error: CompileError = CompileError("no attempt made")
+    if strategy not in STRATEGIES:
+        raise ValueError(f"unknown tile search strategy {strategy!r}")
+    attempts: Dict[int, Union[object, CompileError]] = {}
+
+    def attempt(count: int):
+        """Compile ``count`` tiles once; memoize the result or error."""
+        if count not in attempts:
+            try:
+                attempts[count] = try_compile(count)
+            except CompileError as err:
+                if "IMM BUF" in str(err):
+                    # More tiles cannot reduce constant pressure.
+                    raise
+                attempts[count] = err
+        return attempts[count]
+
+    start = initial_tiles(block, graph, params)
+    tiles = start
+    found = None
     for _ in range(_MAX_DOUBLINGS):
-        try:
-            return tiles, try_compile(tiles)
-        except CompileError as err:
-            if "IMM BUF" in str(err):
-                # More tiles cannot reduce constant pressure.
-                raise
-            last_error = err
-            tiles *= 2
-    raise CompileError(
-        f"block {block.name} does not fit on-chip even with {tiles} tiles: "
-        f"{last_error}")
+        result = attempt(tiles)
+        if not isinstance(result, CompileError):
+            found = (tiles, result)
+            break
+        tiles *= 2
+    if found is None:
+        raise CompileError(
+            f"block {block.name} does not fit on-chip even with {tiles} "
+            f"tiles: {attempts[tiles // 2]}")
+    if strategy == "exact" and found[0] > start:
+        # Refine between the last infeasible doubling and the hit; never
+        # below the Output BUF double-buffering bound.
+        lo, hi = max(found[0] // 2 + 1, start), found[0]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            result = attempt(mid)
+            if isinstance(result, CompileError):
+                lo = mid + 1
+            else:
+                found = (mid, result)
+                hi = mid
+    return found

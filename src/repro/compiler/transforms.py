@@ -48,6 +48,53 @@ def _may_overlap(a: TRef, b: TRef) -> bool:
     return True
 
 
+def _extent(ref: TRef, loops: Sequence[Tuple[str, int]]) -> Tuple[int, int]:
+    """Inclusive [lo, hi] address range ``ref`` touches over the nest.
+
+    Handles scalar refs (empty stride map → a single address) and
+    reversed walks (negative strides reach *below* the base), which is
+    why overlap tests must use extents rather than comparing bases.
+    """
+    lo = hi = ref.base
+    for var, count in loops:
+        reach = ref.stride(var) * (count - 1)
+        lo += min(0, reach)
+        hi += max(0, reach)
+    return lo, hi
+
+
+def _extents_overlap(a: TRef, b: TRef,
+                     loops: Sequence[Tuple[str, int]]) -> bool:
+    """Whether two refs can touch a common address over the nest."""
+    a_lo, a_hi = _extent(a, loops)
+    b_lo, b_hi = _extent(b, loops)
+    return a_lo <= b_hi and b_lo <= a_hi
+
+
+def _injective_walk(ref: TRef, loops: Sequence[Tuple[str, int]]) -> bool:
+    """Whether distinct iteration points address distinct elements.
+
+    Point-wise value forwarding (a later instruction reading what an
+    earlier one wrote *at the same point*) survives fission only when
+    each point's value lands at its own address: instruction-major order
+    replays the producer over all points before any consumer runs, so a
+    non-injective walk (e.g. a stride-0 per-point temp) retains only the
+    last point's value. Sufficient condition: every level with trip
+    count > 1 has a nonzero stride, and sorted by magnitude each stride
+    clears the span of all smaller-stride levels (mixed-radix layout).
+    """
+    levels = [(abs(ref.stride(var)), count)
+              for var, count in loops if count > 1]
+    if any(stride == 0 for stride, _ in levels):
+        return False
+    levels.sort(reverse=True)
+    for i, (stride, _count) in enumerate(levels):
+        span = sum(s * (c - 1) for s, c in levels[i + 1:])
+        if stride <= span:
+            return False
+    return True
+
+
 def is_pointwise_parallel(nest: Nest) -> bool:
     """True when every iteration point is independent of every other.
 
@@ -108,11 +155,38 @@ def fission(nest: Nest) -> List[Nest]:
                     raise CompileError(
                         "fission would break a write-after-read hazard")
                 # Different walks over the same namespace: require
-                # disjoint base regions to rule out cross-point hazards.
-                if read.base == dst.base:
+                # disjoint address extents to rule out cross-point
+                # hazards (a reversed or scalar walk can alias a region
+                # whose base address looks unrelated).
+                if _extents_overlap(read, dst, nest.loops):
                     raise CompileError(
                         "fission cannot prove independence of overlapping "
                         "walks")
+            # Read-after-write: `later` consuming what `stmt` produced is
+            # point-wise forwarding, legal only through an injective walk
+            # (distinct points, distinct addresses); any other overlap
+            # changes which point's value the consumer observes.
+            produced = _writes(stmt)
+            for read in _reads(later):
+                if not _may_overlap(produced, read):
+                    continue
+                if _same_walk(produced, read, loop_vars):
+                    if not _injective_walk(produced, nest.loops):
+                        raise CompileError(
+                            "fission would collapse per-point forwarding "
+                            "through a non-injective walk")
+                elif _extents_overlap(produced, read, nest.loops):
+                    raise CompileError(
+                        "fission cannot prove independence of overlapping "
+                        "walks")
+            # Write-after-write under different walks: the surviving
+            # value per address depends on interleaving order.
+            if (_may_overlap(produced, dst)
+                    and not _same_walk(produced, dst, loop_vars)
+                    and _extents_overlap(produced, dst, nest.loops)):
+                raise CompileError(
+                    "fission cannot prove independence of overlapping "
+                    "walks")
     return [Nest(loops=list(nest.loops), body=[stmt], cast_to=nest.cast_to)
             for stmt in nest.body]
 

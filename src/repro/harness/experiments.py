@@ -741,6 +741,59 @@ def serving_sweep() -> Experiment:
               f"{ {k: round(v, 1) for k, v in capacity.items()} }")
 
 
+@experiment("autotune")
+def autotune_pipeline() -> Experiment:
+    """Autotuned pass pipeline vs the fixed flow across the zoo.
+
+    No paper counterpart; the "paper" column carries the qualitative
+    expectations motivating the searcher: per-model pipeline choices
+    beat one fixed flow in aggregate, every winner is verifier-clean,
+    and the default flow is never beaten by being *worse* (the searcher
+    keeps it as the fallback candidate).
+    """
+    from ..compiler import autotune_model
+    from ..runtime import default_jobs
+
+    npu = NPUTandem()
+    jobs = default_jobs()
+    rows = []
+    ratios = []
+    rejects = 0
+    winners_clean = True
+    for name in MODEL_ORDER:
+        report = autotune_model(build_model(name), npu.config, jobs=jobs)
+        ratio = report.best_cycles / report.baseline_cycles
+        ratios.append(ratio)
+        rejects += report.counters["verifier_rejects"]
+        winners_clean &= any(
+            cand["config"] == report.best_config and cand["status"] == "ok"
+            for cand in report.candidates)
+        rows.append((DISPLAY_NAMES.get(name, name), report.best_label,
+                     f"{report.baseline_cycles:.0f}",
+                     f"{report.best_cycles:.0f}", f"{ratio:.4f}"))
+    geomean = 1.0
+    for ratio in ratios:
+        geomean *= ratio
+    geomean **= 1.0 / len(ratios)
+    summary = {
+        "geomean_cycle_ratio_below_0.95": (True, geomean < 0.95),
+        "no_model_regresses_vs_fixed_flow": (
+            True, all(r <= 1.0 for r in ratios)),
+        "every_winner_verifier_clean": (True, winners_clean),
+        "geomean_cycle_ratio": (0.95, geomean),
+    }
+    return Experiment(
+        id="autotune",
+        title="Autotuned compiler pipeline vs the fixed flow",
+        summary=summary,
+        table=render_table(
+            ("model", "winning pipeline", "fixed cycles", "tuned cycles",
+             "ratio"),
+            rows, title="per-model pipeline search (cycle model)"),
+        notes=f"geomean cycle ratio {geomean:.4f}; verifier-rejected "
+              f"candidates across the search: {rejects}")
+
+
 @experiment("fig26")
 def fig26_area() -> Experiment:
     """Fig. 26: Tandem Processor area breakdown."""

@@ -25,7 +25,8 @@ class NPUTandem:
 
     def __init__(self, config: Optional[NPUConfig] = None,
                  overlap: bool = True, fifo_coupling: bool = False,
-                 special_functions: bool = False):
+                 special_functions: bool = False,
+                 autotune: Optional[bool] = None):
         self.config = config or table3_config()
         self.overlap = overlap
         #: VPU emulation: GEMM outputs are forwarded through FIFOs to the
@@ -33,6 +34,10 @@ class NPUTandem:
         #: fluid Output BUF ownership.
         self.fifo_coupling = fifo_coupling
         self.special_functions = special_functions
+        #: Pipeline autotuning: ``True``/``False`` force it; ``None``
+        #: follows ``REPRO_AUTOTUNE`` at compile time (default off, so
+        #: existing figures/serving flows stay bit-identical).
+        self.autotune = autotune
         self.controller = ExecutionController()
 
     @property
@@ -40,11 +45,27 @@ class NPUTandem:
         mode = "" if self.overlap else "-layerwise"
         return self.config.name + mode
 
+    def _autotune_active(self) -> bool:
+        """Whether compiles should search the pass pipeline."""
+        from ..compiler import autotune_enabled
+        return (self.autotune if self.autotune is not None
+                else autotune_enabled())
+
     def compile(self, graph: Union[str, Graph]) -> CompiledModel:
+        """Compile for this design; autotunes the pipeline when opted in."""
         if isinstance(graph, str):
             graph = build_model(graph)
+        pipeline = None
+        if self._autotune_active():
+            from ..compiler import autotune_model
+            from ..runtime.parallel import default_jobs
+            report = autotune_model(graph, self.config,
+                                    jobs=default_jobs(),
+                                    special_functions=self.special_functions)
+            pipeline = report.best_pipeline()
         return compile_model(graph, self.config.sim, self.config.gemm,
-                             special_functions=self.special_functions)
+                             special_functions=self.special_functions,
+                             pipeline=pipeline)
 
     def verify_record(self, graph: Union[str, Graph]) -> Dict:
         """Static-verification record for ``graph`` under this design.
@@ -72,10 +93,16 @@ class NPUTandem:
         if not isinstance(graph, CompiledModel) and \
                 runtime_cache.get_cache().enabled:
             g = build_model(graph) if isinstance(graph, str) else graph
-            key = runtime_cache.result_key(
-                ("npu-tandem", runtime_cache.object_fingerprint(self.config),
-                 self.overlap, self.fifo_coupling, self.special_functions),
-                g)
+            desc = ("npu-tandem",
+                    runtime_cache.object_fingerprint(self.config),
+                    self.overlap, self.fifo_coupling, self.special_functions)
+            if self._autotune_active():
+                # Autotuned programs depend on the search budget and the
+                # seed; default-flow keys stay exactly as before.
+                from ..compiler import autotune_budget
+                from ..runtime.seed import repro_seed
+                desc = desc + ("autotune", autotune_budget(), repro_seed())
+            key = runtime_cache.result_key(desc, g)
             hit = runtime_cache.get_result(key)
             if hit is not None:
                 return hit

@@ -188,6 +188,20 @@ class EvalCache:
             tel.count(f"cache.{kind}.misses")
         return None
 
+    def has(self, kind: str, key: str) -> bool:
+        """True when ``key`` is present in either tier.
+
+        A pure presence probe: no decode, no memory-tier promotion and
+        no hit/miss accounting, so callers (e.g. the autotuner's
+        cache-hit counters) can test for warmth without disturbing the
+        stats or pre-empting a later :meth:`get`.
+        """
+        if not self.enabled:
+            return False
+        if (kind, key) in self._memory:
+            return True
+        return self.persist and self._path(kind, key).exists()
+
     def put(self, kind: str, key: str, value: Any,
             encode: Optional[Callable[[Any], Any]] = None) -> None:
         if not self.enabled:

@@ -229,3 +229,29 @@ def test_serve_trace_out(capsys, tmp_path):
     payload = validate_trace_file(str(out_file))
     assert any(e.get("cat") == "serving" for e in payload["traceEvents"])
     assert payload["otherData"]["counters"]["serving.requests.offered"] > 0
+
+
+def test_autotune_smoke(capsys, tmp_path):
+    report = tmp_path / "report.json"
+    assert main(["autotune", "tinynet", "--budget", "4",
+                 "--json", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline" in out and "best:" in out
+    payload = json.loads(report.read_text())
+    assert payload["schema"] == "repro-autotune-report-v1"
+    assert payload["model"] == "tinynet"
+    assert payload["best"]["cycles"] <= payload["baseline_cycles"]
+    assert len(payload["candidates"]) <= 4
+
+
+def test_compile_explain(capsys):
+    assert main(["compile", "tinynet", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline: depth=max/tiles=pow2" in out
+    assert "fuse_blocks" in out and "result:" in out
+
+
+def test_compile_explain_autotuned(capsys):
+    assert main(["compile", "tinynet", "--explain", "--autotune"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline:" in out

@@ -376,3 +376,38 @@ def test_harness_trace_deterministic_serial(tmp_path):
 def test_harness_trace_deterministic_jobs2(tmp_path):
     assert _run_harness_traced(tmp_path, "j1", "--jobs", "2") == \
         _run_harness_traced(tmp_path, "j2", "--jobs", "2")
+
+
+# ---------------------------------------------------------------------------
+# Autotune counters: identical serial and --jobs 2
+# ---------------------------------------------------------------------------
+def _autotune_counters(tmp_path, monkeypatch, tag, jobs):
+    """Cold autotune of tinynet; returns the compiler.autotune.* counters.
+
+    The parent process and any worker processes must share one cache
+    directory (workers build their cache from ``REPRO_CACHE_DIR``), and
+    each tag gets a fresh directory so both runs are cold.
+    """
+    from repro.compiler import autotune_model
+    from repro.runtime import get_cache, set_cache
+
+    cache_dir = tmp_path / f"cache-{tag}"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    previous = get_cache()
+    set_cache(EvalCache(directory=cache_dir))
+    try:
+        with scoped_telemetry(Telemetry(enabled=True, label=tag)) as tel:
+            autotune_model(build_model("tinynet"), budget=6, jobs=jobs)
+            counters = tel.snapshot()["counters"]
+    finally:
+        set_cache(previous)
+    return {k: v for k, v in counters.items()
+            if k.startswith("compiler.autotune.")}
+
+
+def test_autotune_counters_identical_serial_vs_jobs(tmp_path, monkeypatch):
+    serial = _autotune_counters(tmp_path, monkeypatch, "serial", jobs=1)
+    jobs2 = _autotune_counters(tmp_path, monkeypatch, "jobs2", jobs=2)
+    assert serial == jobs2
+    assert serial["compiler.autotune.searches"] == 1
+    assert serial["compiler.autotune.candidates"] == 6

@@ -87,6 +87,97 @@ def test_fission_rejects_write_after_read():
         fission(nest)
 
 
+def test_fission_rejects_scalar_read_inside_later_write_extent():
+    # stmt1 reads a scalar (empty stride map) at address 5; stmt2's
+    # write walks 0..7 and overwrites it. The bases differ (5 vs 0), so
+    # a base-equality alias test would silently let the hazard through —
+    # the extent check must reject it.
+    loops = [("i", 8)]
+    scalar = TRef(NS, 5, {})
+    dst = TRef(NS, 0, {"i": 1})
+    out = TRef(NS, 16, {"i": 1})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, out, scalar, scalar),
+                        _stmt(AluFunc.MUL, dst, out, out)])
+    assert not fissionable(nest)
+    with pytest.raises(CompileError, match="overlapping"):
+        fission(nest)
+
+
+def test_fission_rejects_reversed_walk_overlap():
+    # stmt2 writes the same 0..7 region as stmt1's read, but walking it
+    # backwards from base 7 with stride -1: different walk, different
+    # base, same addresses. Must be rejected, not silently applied.
+    loops = [("i", 8)]
+    fwd = TRef(NS, 0, {"i": 1})
+    rev = TRef(NS, 7, {"i": -1})
+    out = TRef(NS, 16, {"i": 1})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, out, fwd, fwd),
+                        _stmt(AluFunc.MUL, rev, out, out)])
+    assert not fissionable(nest)
+    with pytest.raises(CompileError, match="overlapping"):
+        fission(nest)
+
+
+def test_fission_allows_disjoint_extents_under_different_walks():
+    # Different walks over the same namespace are fine when the address
+    # extents cannot meet (read 0..7, later write 8..15 reversed).
+    loops = [("i", 8)]
+    src = TRef(NS, 0, {"i": 1})
+    rev = TRef(NS, 15, {"i": -1})
+    out = TRef(NS, 32, {"i": 1})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, out, src, src),
+                        _stmt(AluFunc.MUL, rev, out, out)])
+    parts = fission(nest)
+    assert [len(p.body) for p in parts] == [1, 1]
+
+
+def test_interchange_rejects_scalar_destination():
+    # A scalar destination (empty stride map) is a loop-carried
+    # accumulation across every level; no reorder is legal.
+    loops = [("i", 4), ("j", 8)]
+    x = TRef(NS, 0, {"i": 8, "j": 1})
+    acc = TRef(NS, 64, {})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, acc, acc, x)])
+    assert not is_pointwise_parallel(nest)
+    with pytest.raises(CompileError, match="dependence"):
+        interchange(nest, [1, 0])
+
+
+def test_fission_rejects_noninjective_forwarding():
+    # Recipe temps often hold one value per point (stride 0 over the
+    # loop). Point-major order forwards stmt1's value to stmt2 within
+    # each point; instruction-major order leaves only the last point's
+    # value in the temp, so fission must refuse.
+    loops = [("c", 10)]
+    x = TRef(NS, 0, {"c": 1})
+    temp = TRef(NS, 32, {})         # shared per-point scratch
+    out = TRef(NS, 64, {"c": 1})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, temp, x, x),
+                        _stmt(AluFunc.MUL, out, temp, temp)])
+    assert not fissionable(nest)
+    with pytest.raises(CompileError, match="non-injective"):
+        fission(nest)
+
+
+def test_fission_allows_injective_forwarding():
+    # The same producer/consumer chain through a temp that walks every
+    # loop level injectively is safe: each point's value persists.
+    loops = [("i", 4), ("j", 8)]
+    x = TRef(NS, 0, {"i": 8, "j": 1})
+    temp = TRef(NS, 32, {"i": 8, "j": 1})
+    out = TRef(NS, 64, {"i": 8, "j": 1})
+    nest = Nest(loops, [_stmt(AluFunc.ADD, temp, x, x),
+                        _stmt(AluFunc.MUL, out, temp, temp)])
+    parts = fission(nest)
+    assert [len(p.body) for p in parts] == [1, 1]
+
+
+def test_fission_preserves_cast_to():
+    nest = _elementwise_nest()
+    nest.cast_to = "int8"
+    assert all(p.cast_to == "int8" for p in fission(nest))
+
+
 def _run_nests(nests, init):
     """Execute nests on the machine; returns the whole IBUF1 contents."""
     machine = TandemMachine()
