@@ -30,6 +30,12 @@ Commands:
   ``--faults plan.json`` injects a fault plan; ``--resilience
   {naive,resilient}`` picks the response policy (default: resilient
   when faults are injected, naive otherwise).
+* ``serve --llm`` — LLM mode: sweep continuous vs one-shot batching
+  over decode-step costs and report goodput at SLO, TTFT and
+  inter-token latency percentiles (see :mod:`repro.llm.sweep`).
+* ``decode CONFIG [--prompt N] [--tokens N]`` — autoregressive
+  KV-cache decoding on the detailed machine (``tinyllm``) or the
+  integer reference, one table row per prefill/decode step.
 * ``chaos`` — sweep fault-rate scales x resilience policies and report
   goodput retention vs the fault-free control (see
   :mod:`repro.faults.chaos`).
@@ -287,8 +293,148 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_decode(args) -> int:
+    """Autoregressively decode on the detailed machine; print each step."""
+    from .llm import DecodeSession, available_llm_configs, get_llm_config
+    from .runtime import seeded_rng
+
+    if args.config not in available_llm_configs():
+        print(f"repro decode: unknown config {args.config!r}; available: "
+              f"{', '.join(available_llm_configs())}", file=sys.stderr)
+        return 2
+    config = get_llm_config(args.config)
+    if args.prompt + args.tokens > config.max_context:
+        print(f"repro decode: prompt + tokens exceeds {args.config}'s "
+              f"{config.max_context}-token context window", file=sys.stderr)
+        return 2
+    rng = seeded_rng("llm-prompt", args.config, args.prompt)
+    prompt = [int(t) for t in rng.integers(0, config.vocab, args.prompt)]
+    session = DecodeSession(config, executor=args.executor)
+    session.prefill(prompt)
+    generated = session.decode(args.tokens)
+    rows = [(r.phase, r.past_len, r.n_new,
+             " ".join(str(t) for t in r.tokens_in), r.next_token,
+             r.blocks or "-", r.machine_cycles or "-")
+            for r in session.records]
+    print(render_table(
+        ("phase", "past", "new", "tokens in", "argmax", "blocks", "cycles"),
+        rows, title=f"{args.config} ({args.executor}): "
+                    f"{args.prompt}-token prompt, {args.tokens} decoded"))
+    print(f"\ngenerated: {' '.join(str(t) for t in generated)}")
+    print(f"KV-cache: {session.past_len} tokens resident, "
+          f"{session.past_len * config.kv_bytes_per_token} DRAM bytes")
+    if args.json:
+        import json
+        payload = {
+            "config": args.config,
+            "executor": args.executor,
+            "prompt": prompt,
+            "generated": generated,
+            "kv_tokens": session.past_len,
+            "kv_bytes": session.past_len * config.kv_bytes_per_token,
+            "steps": [{"phase": r.phase, "past_len": r.past_len,
+                       "n_new": r.n_new, "tokens_in": list(r.tokens_in),
+                       "next_token": r.next_token, "blocks": r.blocks,
+                       "machine_cycles": r.machine_cycles}
+                      for r in session.records],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_serve_llm(args) -> int:
+    """The ``serve --llm`` path: continuous vs one-shot batching sweep."""
+    from .llm import (
+        llm_grid,
+        llm_report,
+        llm_report_json,
+        llm_table,
+        run_llm_sweep,
+        validate_llm_report,
+    )
+    from .serving import LLM_SCHEDULERS, LLMServiceCosts, make_llm_batcher
+
+    schedulers = tuple(s.strip() for s in args.schedulers.split(",")
+                       if s.strip())
+    unknown = [s for s in schedulers if s not in LLM_SCHEDULERS]
+    if unknown:
+        print(f"repro serve: unknown LLM schedulers {', '.join(unknown)}; "
+              f"known: {', '.join(LLM_SCHEDULERS)}", file=sys.stderr)
+        return 2
+    rates = None
+    if args.rates:
+        try:
+            rates = tuple(float(r) for r in args.rates.split(",")
+                          if r.strip())
+        except ValueError:
+            print(f"repro serve: --rates must be comma-separated numbers, "
+                  f"got {args.rates!r}", file=sys.stderr)
+            return 2
+    costs = LLMServiceCosts.resolve(args.llm_config,
+                                    kv_budget_tokens=args.kv_budget)
+    from .serving import default_max_slots
+    max_slots = args.slots if args.slots else default_max_slots()
+    points = llm_grid(costs=costs, schedulers=schedulers, rates=rates,
+                      duration_s=args.duration, max_slots=max_slots)
+    jobs = args.jobs if args.jobs is not None else 1
+    reports = run_llm_sweep(points, jobs=jobs)
+    payload = llm_report(points, reports)
+    problems = validate_llm_report(payload)
+    if problems:  # pragma: no cover - internal invariant
+        print("repro serve: invalid LLM report:\n  " + "\n  ".join(problems),
+              file=sys.stderr)
+        return 1
+    print(llm_table(payload))
+    for scheduler in schedulers:
+        entry = payload["summary"][scheduler]
+        print(f"{scheduler}: goodput at "
+              f">={payload['slo_attainment_bar']:.0%} SLO "
+              f"{entry['goodput_at_slo_rps']:.2f} req/s "
+              f"(best {entry['best_goodput_rps']:.2f})")
+    if payload["summary"].get("continuous_beats_oneshot") is not None:
+        verdict = ("continuous batching beats one-shot"
+                   if payload["summary"]["continuous_beats_oneshot"]
+                   else "continuous batching does NOT beat one-shot")
+        print(verdict)
+    if args.trace_out:
+        from .telemetry.export import (
+            chrome_trace,
+            llm_trace_events,
+            write_trace,
+        )
+        # Re-run the busiest continuous point with tracing on.
+        traced = max((p for p in points if p.scheduler == "continuous"),
+                     default=points[-1], key=lambda p: p.rate_rps)
+        from .serving import llm_poisson_requests
+        requests = llm_poisson_requests(
+            traced.rate_rps, traced.duration_s, traced.prompt_range,
+            traced.output_range, traced.stream)
+        batcher = make_llm_batcher(traced.scheduler, traced.costs,
+                                   max_slots=traced.max_slots,
+                                   collect_trace=True)
+        batcher.run(requests, rate_rps=traced.rate_rps,
+                    duration_s=traced.duration_s)
+        trace_payload = chrome_trace(
+            [], device_events=llm_trace_events(batcher.trace_log),
+            extra_other_data={"config": args.llm_config,
+                              "scheduler": traced.scheduler,
+                              "rate_rps": traced.rate_rps})
+        write_trace(args.trace_out, trace_payload)
+        print(f"wrote {args.trace_out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(llm_report_json(payload))
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Simulate a serving fleet; optional fault plan + resilience policy."""
+    if args.llm:
+        return _cmd_serve_llm(args)
     from .faults import FaultPlan
     from .serving import (
         AdmissionPolicy,
@@ -677,6 +823,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "with --faults, naive otherwise)")
     serve.add_argument("--dry-run", action="store_true",
                        help="print the configuration and exit")
+    serve.add_argument("--llm", action="store_true",
+                       help="LLM mode: continuous vs one-shot batching "
+                            "sweep over decode-step costs")
+    serve.add_argument("--llm-config", default="gpt2_rms",
+                       help="decode config for --llm (see repro.llm)")
+    serve.add_argument("--kv-budget", type=int, default=None, metavar="TOK",
+                       help="KV-cache admission budget in tokens "
+                            "(default: $REPRO_LLM_KV_BUDGET or 1024)")
+    serve.add_argument("--slots", type=int, default=None, metavar="N",
+                       help="decode-batch slots for --llm "
+                            "(default: $REPRO_LLM_MAX_SLOTS or 8)")
+    serve.add_argument("--schedulers", default="oneshot,continuous",
+                       help="comma-separated LLM schedulers to sweep")
+    serve.add_argument("--rates", default=None,
+                       help="comma-separated offered rates (req/s) for "
+                            "--llm (default: a saturation-anchored ladder)")
+    serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for the --llm sweep")
+
+    decode = sub.add_parser("decode",
+                            help="autoregressive KV-cache decoding")
+    decode.add_argument("config", nargs="?", default="tinyllm",
+                        help="decode config (tinyllm runs the detailed "
+                             "machine; see repro.llm)")
+    decode.add_argument("--prompt", type=int, default=4, metavar="N",
+                        help="seeded prompt length in tokens")
+    decode.add_argument("--tokens", type=int, default=4, metavar="N",
+                        help="tokens to greedy-decode after prefill")
+    decode.add_argument("--executor", choices=("functional", "reference"),
+                        default="functional",
+                        help="detailed machine or integer reference")
+    decode.add_argument("--json", metavar="FILE",
+                        help="also write the per-step record as JSON")
 
     chaos = sub.add_parser("chaos",
                            help="sweep fault rates x resilience policies")
@@ -739,6 +918,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "cache": cmd_cache,
     "serve": cmd_serve,
+    "decode": cmd_decode,
     "chaos": cmd_chaos,
     "docs": cmd_docs,
     "verify": cmd_verify,

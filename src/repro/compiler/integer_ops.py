@@ -28,6 +28,13 @@ import numpy as np
 #: Default fixed-point precision: Q23.8.
 FRAC_BITS = 8
 
+#: Additive causal-attention mask: ``-(1 << (frac_bits +
+#: CAUSAL_MASK_SHIFT))`` stamped over invisible score columns — far
+#: enough below any realistic row maximum that ``i_exp`` underflows to
+#: exactly zero, yet small enough that the max-subtract can never wrap
+#: 32 bits.
+CAUSAL_MASK_SHIFT = 12
+
 # I-BERT polynomial coefficients.
 _ERF_A = -0.2888
 _ERF_B = -1.769
@@ -297,6 +304,25 @@ def _epfx(ref):
     return ref
 
 
+def silu_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
+    """SiLU(x) = x * sigma(x) — the gate activation inside SwiGLU."""
+    steps = []
+    for step in sigmoid_recipe(frac_bits):
+        steps.append(Step(step.func, f"s_{step.out}", _spfx(step.a),
+                          _spfx(step.b)))
+    steps += [
+        Step("mul", "xs", "s_out", "x"),
+        Step("rshift", "out", "xs", frac_bits),
+    ]
+    return steps
+
+
+def _spfx(ref):
+    if isinstance(ref, str) and ref != "x":
+        return f"s_{ref}"
+    return ref
+
+
 def tanh_recipe(frac_bits: int = FRAC_BITS) -> List[Step]:
     """tanh(x) = 2 * sigma(2x) - 1."""
     one = 1 << frac_bits
@@ -413,6 +439,7 @@ UNARY_RECIPES = {
     "Erf": erf_recipe,
     "Gelu": gelu_recipe,
     "Sigmoid": sigmoid_recipe,
+    "Silu": silu_recipe,
     "Tanh": tanh_recipe,
     "Sqrt": sqrt_recipe,
     "Reciprocal": reciprocal_recipe,
@@ -438,6 +465,11 @@ def i_gelu(x, frac_bits: int = FRAC_BITS):
 def i_sigmoid(x, frac_bits: int = FRAC_BITS):
     """Integer-only sigmoid via i_exp."""
     return run_recipe(sigmoid_recipe(frac_bits), x)
+
+
+def i_silu(x, frac_bits: int = FRAC_BITS):
+    """Integer-only SiLU (x * sigmoid(x)) via i_sigmoid."""
+    return run_recipe(silu_recipe(frac_bits), x)
 
 
 def i_tanh(x, frac_bits: int = FRAC_BITS):

@@ -16,6 +16,7 @@ import numpy as np
 from ..gemm import SystolicArray
 from ..graph import Graph, Node
 from .integer_ops import (
+    CAUSAL_MASK_SHIFT,
     FRAC_BITS,
     w32,
     UNARY_RECIPES,
@@ -23,12 +24,17 @@ from .integer_ops import (
     clip_recipe,
     floor_recipe,
     i_exp,
+    i_sqrt,
     leaky_relu_recipe,
     run_recipe,
+    silu_recipe,
     square_recipe,
+    v_add,
     v_div,
     v_lshift,
+    v_mul,
     v_rshift,
+    v_sub,
 )
 
 INT32_MIN = -(1 << 31)
@@ -186,6 +192,48 @@ class ReferenceExecutor:
         s = e.sum(axis=-1, keepdims=True)
         return v_div(v_lshift(e, self.frac_bits), s)
 
+    def _op_swiglu(self, node, values):
+        gate, up = self._two_operands(node, values)
+        s = run_recipe(silu_recipe(self.frac_bits), gate)
+        return v_rshift(v_mul(s, up), self.frac_bits)
+
+    def _op_rope(self, node, values):
+        x = values[node.inputs[0]]
+        cos = values[node.params[0]]
+        sin = values[node.params[1]]
+        xe, xo = x[..., 0::2], x[..., 1::2]
+        oe = v_rshift(v_sub(v_mul(xe, cos), v_mul(xo, sin)), self.frac_bits)
+        oo = v_rshift(v_add(v_mul(xe, sin), v_mul(xo, cos)), self.frac_bits)
+        out = np.empty_like(x)
+        out[..., 0::2] = oe
+        out[..., 1::2] = oo
+        return out
+
+    def _op_rmsnorm(self, node, values):
+        x = values[node.inputs[0]]
+        gamma = values[node.params[0]]
+        # Per-element >> f before accumulation, exactly like the nest
+        # (keeps the running sum in 32 bits for wide hidden dims).
+        sq = v_rshift(v_mul(x, x), self.frac_bits)
+        total = w32(sq.sum(axis=-1, keepdims=True))
+        mean = v_add(v_div(total, x.shape[-1]), 1)
+        rms = i_sqrt(mean, self.frac_bits)
+        t = v_div(v_lshift(x, self.frac_bits), rms)
+        return v_rshift(v_mul(t, gamma), self.frac_bits)
+
+    def _op_causalsoftmax(self, node, values):
+        x = values[node.inputs[0]]
+        offset = node.attr("offset", 0)
+        mask = -(1 << (self.frac_bits + CAUSAL_MASK_SHIFT))
+        q_len, cols = x.shape[-2], x.shape[-1]
+        invisible = (np.arange(cols)[None, :]
+                     > np.arange(q_len)[:, None] + offset)
+        x = np.where(invisible, mask, x)
+        m = x.max(axis=-1, keepdims=True)
+        e = i_exp(v_sub(x, m), self.frac_bits)
+        s = e.sum(axis=-1, keepdims=True)
+        return v_div(v_lshift(e, self.frac_bits), s)
+
     def _op_reducemean(self, node, values):
         x = values[node.inputs[0]]
         total = x.sum(axis=-1, keepdims=node.attr("keepdims", True))
@@ -256,6 +304,21 @@ class ReferenceExecutor:
     def _op_concat(self, node, values):
         parts = [values[name] for name in node.inputs]
         return np.concatenate(parts, axis=node.attr("axis", 1))
+
+    def _op_cacheappend(self, node, values):
+        cache = values[node.inputs[0]]
+        new = values[node.inputs[1]]
+        axis = node.attr("axis", 0) % cache.ndim
+        offset = node.attr("offset", 0)
+        perm = node.attrs.get("perm")
+        if perm:
+            new = new.transpose(perm)
+        out = np.array(cache, dtype=np.int64)
+        index = tuple(
+            slice(offset, offset + new.shape[d]) if d == axis else slice(None)
+            for d in range(cache.ndim))
+        out[index] = new
+        return out
 
     def _op_resize(self, node, values):
         x = values[node.inputs[0]]

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..graph import Graph, Node
 from ..isa import AluFunc, ComparisonFunc, Namespace, Opcode
 from .integer_ops import (
+    CAUSAL_MASK_SHIFT,
     FRAC_BITS,
     UNARY_RECIPES,
     Step,
@@ -37,6 +38,8 @@ from .integer_ops import (
     leaky_relu_recipe,
     relu_recipe,
     sign_recipe,
+    silu_recipe,
+    sqrt_recipe,
     square_recipe,
 )
 from .ir import (
@@ -213,12 +216,13 @@ def _unary_recipe_steps(ctx: TileContext, node: Node) -> List[Step]:
 
 #: Operators a VPU-style special-function unit covers in one instruction.
 SPECIAL_FUNCTION_OPS = frozenset({
-    "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Reciprocal",
+    "Exp", "Erf", "Gelu", "Sigmoid", "Silu", "Tanh", "Sqrt", "Reciprocal",
 })
 
 
 @template("Relu", "LeakyRelu", "Clip", "Floor", "Ceil", "Abs", "Sign", "Pow",
-          "Exp", "Erf", "Gelu", "Sigmoid", "Tanh", "Sqrt", "Reciprocal")
+          "Exp", "Erf", "Gelu", "Sigmoid", "Silu", "Tanh", "Sqrt",
+          "Reciprocal")
 def t_unary(ctx, node, graph, tiles):
     """Unary ops + activation recipes from integer_ops."""
     out = graph.out_spec(node)
@@ -292,6 +296,224 @@ def t_softmax(ctx, node, graph, tiles):
     ctx.nest([("c", cols), ("r", rows_t)], [
         Stmt(Opcode.ALU, int(AluFunc.ADD), s_ref, s_ref, e_ref)])
     # 4. out = (e << f) / s.
+    u_ns, u_base = ctx.alloc(rows_t)
+    u_ref = TRef(u_ns, u_base, {"r": 1})
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.LSHIFT), u_ref, e_ref,
+             ctx.imm(ctx.frac_bits)),
+        Stmt(Opcode.ALU, int(AluFunc.DIV), out_ref, u_ref, s_ref),
+    ])
+
+
+@template("SwiGLU")
+def t_swiglu(ctx, node, graph, tiles):
+    """SwiGLU: silu(gate) * up, the gate expanded through silu_recipe."""
+    operands = _binary_operands(node, graph)
+    loops, refs, out_ref, tile_points = _tiled_elementwise_views(
+        ctx, node, graph, tiles, operands)
+    gate_ref, up_ref = refs
+    s_ns, s_base = ctx.alloc(tile_points)
+    s_ref = TRef(s_ns, s_base, dict(out_ref.strides))
+    if ctx.special_functions:
+        body = [Stmt(Opcode.ALU, int(AluFunc.MOVE), s_ref, gate_ref)]
+    else:
+        body = recipe_body(ctx, silu_recipe(ctx.frac_bits), gate_ref, s_ref,
+                           loops, tile_points)
+    body += [
+        Stmt(Opcode.ALU, int(AluFunc.MUL), s_ref, s_ref, up_ref),
+        Stmt(Opcode.ALU, int(AluFunc.RSHIFT), out_ref, s_ref,
+             ctx.imm(ctx.frac_bits)),
+    ]
+    ctx.nest(loops, body)
+
+
+@template("Rope")
+def t_rope(ctx, node, graph, tiles):
+    """Rotary embedding: paired rotation of (even, odd) lanes.
+
+    The cos/sin tables live on-chip like any other parameter; the decode
+    step binds tables already sliced at the cache offset, so the nest is
+    position-agnostic.
+    """
+    spec = graph.tensor(node.inputs[0])
+    shape = spec.shape
+    seq, hd = shape[-2], shape[-1]
+    half = node.attr("half", hd // 2)
+    lead = prod(shape) // (seq * hd)
+    f = ctx.imm(ctx.frac_bits)
+    if tiles == 1:
+        x = ctx.source(node.inputs[0], (lead, seq, hd))
+        out = ctx.dest(node.outputs[0], (lead, seq, hd))
+        cos = ctx.source(node.params[0], (seq, half))
+        sin = ctx.source(node.params[1], (seq, half))
+        loops = [("b", lead), ("p", seq), ("i", half)]
+        pair = {"b": seq * hd, "p": hd, "i": 2}
+        tab = {"b": 0, "p": half, "i": 1}
+        cos_ref = TRef(cos.ns, cos.base, tab)
+        sin_ref = TRef(sin.ns, sin.base, tab)
+    else:
+        # Cost mode: a flat sweep with broadcast table reads — the same
+        # instruction count per rotated pair, capacity-bounded buffers.
+        pairs = _split(lead * seq * half, tiles)
+        x = ctx.source(node.inputs[0], (pairs * 2,))
+        out = ctx.dest(node.outputs[0], (pairs * 2,))
+        cos = ctx.source(node.params[0], (seq, half))
+        sin = ctx.source(node.params[1], (seq, half))
+        loops = [("i", pairs)]
+        pair = {"i": 2}
+        cos_ref = TRef(cos.ns, cos.base, {"i": 0})
+        sin_ref = TRef(sin.ns, sin.base, {"i": 0})
+    xe = TRef(x.ns, x.base, pair)
+    xo = TRef(x.ns, x.base + 1, pair)
+    oe = TRef(out.ns, out.base, pair)
+    oo = TRef(out.ns, out.base + 1, pair)
+    t1_ns, t1_base = ctx.alloc(half)
+    t2_ns, t2_base = ctx.alloc(half)
+    t1 = TRef(t1_ns, t1_base, {"i": 1} if tiles == 1 else {})
+    t2 = TRef(t2_ns, t2_base, {"i": 1} if tiles == 1 else {})
+    ctx.nest(loops, [
+        Stmt(Opcode.ALU, int(AluFunc.MUL), t1, xe, cos_ref),
+        Stmt(Opcode.ALU, int(AluFunc.MUL), t2, xo, sin_ref),
+        Stmt(Opcode.ALU, int(AluFunc.SUB), t1, t1, t2),
+        Stmt(Opcode.ALU, int(AluFunc.RSHIFT), oe, t1, f),
+        Stmt(Opcode.ALU, int(AluFunc.MUL), t1, xe, sin_ref),
+        Stmt(Opcode.ALU, int(AluFunc.MUL), t2, xo, cos_ref),
+        Stmt(Opcode.ALU, int(AluFunc.ADD), t1, t1, t2),
+        Stmt(Opcode.ALU, int(AluFunc.RSHIFT), oo, t1, f),
+    ])
+
+
+@template("RMSNorm")
+def t_rmsnorm(ctx, node, graph, tiles):
+    """RMSNorm: mean-of-squares, i_sqrt, scale by gamma (column-major)."""
+    spec = graph.tensor(node.inputs[0])
+    rows, cols = _rows_cols(spec.shape, node.attr("axis", -1))
+    rows_t = _split(rows, tiles)
+    x = ctx.source(node.inputs[0], (rows_t, cols), layout=(1, 0))
+    out = ctx.dest(node.outputs[0], (rows_t, cols), layout=(1, 0))
+    gamma = ctx.source(node.params[0], (cols,))
+    x_ref = view_ref(x, ("c", "r"), {"c": rows_t, "r": 1})
+    out_ref = view_ref(out, ("c", "r"), {"c": rows_t, "r": 1})
+    g_ref = TRef(gamma.ns, gamma.base, {"c": 1, "r": 0})
+
+    # 1. sq = (x * x) >> f (per-element shift keeps the running sum in
+    #    32 bits for wide hidden dims).
+    sq_ns, sq_base = ctx.alloc(rows_t * cols)
+    sq_ref = TRef(sq_ns, sq_base, {"c": rows_t, "r": 1})
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MUL), sq_ref, x_ref, x_ref),
+        Stmt(Opcode.ALU, int(AluFunc.RSHIFT), sq_ref, sq_ref,
+             ctx.imm(ctx.frac_bits)),
+    ])
+    # 2. Row accumulation and mean (+1 ULP so all-zero rows stay finite).
+    acc_ns, acc_base = ctx.alloc(rows_t)
+    acc_ref = TRef(acc_ns, acc_base, {"r": 1})
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), acc_ref, ctx.imm(0))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.ADD), acc_ref, acc_ref, sq_ref)])
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.DIV), acc_ref, acc_ref, ctx.imm(cols)),
+        Stmt(Opcode.ALU, int(AluFunc.ADD), acc_ref, acc_ref, ctx.imm(1)),
+    ])
+    # 3. rms = i_sqrt(mean).
+    d_ns, d_base = ctx.alloc(rows_t)
+    d_ref = TRef(d_ns, d_base, {"r": 1})
+    loops = [("r", rows_t)]
+    if ctx.special_functions:
+        ctx.nest(loops, [Stmt(Opcode.ALU, int(AluFunc.MOVE), d_ref, acc_ref)])
+    else:
+        ctx.nest(loops, recipe_body(ctx, sqrt_recipe(ctx.frac_bits),
+                                    acc_ref, d_ref, loops, rows_t))
+    # 4. out = (((x << f) / rms) * gamma) >> f.
+    t_ns, t_base = ctx.alloc(rows_t)
+    t_ref = TRef(t_ns, t_base, {"r": 1})
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.LSHIFT), t_ref, x_ref,
+             ctx.imm(ctx.frac_bits)),
+        Stmt(Opcode.ALU, int(AluFunc.DIV), t_ref, t_ref, d_ref),
+        Stmt(Opcode.ALU, int(AluFunc.MUL), t_ref, t_ref, g_ref),
+        Stmt(Opcode.ALU, int(AluFunc.RSHIFT), out_ref, t_ref,
+             ctx.imm(ctx.frac_bits)),
+    ])
+
+
+@template("CausalSoftmax")
+def t_causal_softmax(ctx, node, graph, tiles):
+    """Fused causal mask + softmax over attention scores.
+
+    Key column ``j`` is visible to query row ``p`` iff
+    ``j <= p + offset``; invisible columns (including the unwritten tail
+    of a max-context KV-cache) are stamped with a large negative constant
+    whose i_exp is exactly zero, then the standard softmax tail runs.
+    """
+    spec = graph.tensor(node.inputs[0])
+    shape = spec.shape
+    q_len, cols = shape[-2], shape[-1]
+    rows = prod(shape) // cols
+    rows_t = _split(rows, tiles)
+    offset = node.attr("offset", 0)
+    mask = -(1 << (ctx.frac_bits + CAUSAL_MASK_SHIFT))
+    x = ctx.source(node.inputs[0], (rows_t, cols), layout=(1, 0))
+    out = ctx.dest(node.outputs[0], (rows_t, cols), layout=(1, 0))
+    x_ref = view_ref(x, ("c", "r"), {"c": rows_t, "r": 1})
+    out_ref = view_ref(out, ("c", "r"), {"c": rows_t, "r": 1})
+
+    # 0. Copy the scores into scratch and stamp the mask.
+    scr_ns, scr_base = ctx.alloc(rows_t * cols)
+    scr_ref = TRef(scr_ns, scr_base, {"c": rows_t, "r": 1})
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), scr_ref, x_ref)])
+    if rows_t == rows:
+        # Exact triangle: one nest per query position (decode steps have
+        # q_len == 1, so a single nest covers the whole unwritten tail).
+        batch = rows // q_len
+        for p in range(q_len):
+            start = p + offset + 1
+            if start >= cols:
+                continue
+            ctx.nest([("b", batch), ("j", cols - start)], [
+                Stmt(Opcode.ALU, int(AluFunc.MOVE),
+                     TRef(scr_ns, scr_base + start * rows_t + p,
+                          {"j": rows_t, "b": q_len}),
+                     ctx.imm(mask))])
+    else:
+        # Cost mode (tiles > 1): stamp this tile's share of the masked
+        # element count without exact per-row addressing.
+        masked = (rows // q_len) * sum(
+            max(0, cols - (p + offset + 1)) for p in range(q_len))
+        masked_t = min(rows_t * cols, _split(masked, tiles)) if masked else 0
+        if masked_t:
+            ctx.nest([("m", masked_t)], [
+                Stmt(Opcode.ALU, int(AluFunc.MOVE),
+                     TRef(scr_ns, scr_base, {"m": 1}), ctx.imm(mask))])
+
+    # 1-4. The standard softmax tail over the masked scratch.
+    m_ns, m_base = ctx.alloc(rows_t)
+    m_ref = TRef(m_ns, m_base, {"r": 1})
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), m_ref, ctx.imm(INT32_MIN))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MAX), m_ref, m_ref, scr_ref)])
+    e_ns, e_base = ctx.alloc(rows_t * cols)
+    e_ref = TRef(e_ns, e_base, {"c": rows_t, "r": 1})
+    t_ns, t_base = ctx.alloc(rows_t)
+    t_ref = TRef(t_ns, t_base, {"r": 1})
+    loops = [("c", cols), ("r", rows_t)]
+    body = [Stmt(Opcode.ALU, int(AluFunc.SUB), t_ref, scr_ref, m_ref)]
+    if ctx.special_functions:
+        body.append(Stmt(Opcode.ALU, int(AluFunc.MOVE), e_ref, t_ref))
+    else:
+        body += recipe_body(ctx, exp_recipe(ctx.frac_bits), t_ref, e_ref,
+                            loops, rows_t * cols, temp_strides={"r": 1},
+                            temp_elements=rows_t)
+    ctx.nest(loops, body)
+    s_ns, s_base = ctx.alloc(rows_t)
+    s_ref = TRef(s_ns, s_base, {"r": 1})
+    ctx.nest([("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.MOVE), s_ref, ctx.imm(0))])
+    ctx.nest([("c", cols), ("r", rows_t)], [
+        Stmt(Opcode.ALU, int(AluFunc.ADD), s_ref, s_ref, e_ref)])
     u_ns, u_base = ctx.alloc(rows_t)
     u_ref = TRef(u_ns, u_base, {"r": 1})
     ctx.nest([("c", cols), ("r", rows_t)], [
@@ -513,6 +735,48 @@ def t_concat(ctx, node, graph, tiles):
             pre_reshape=spec.shape if tiles == 1 else None,
             region=region))
         offset += spec.shape[axis]
+
+
+@template("CacheAppend")
+def t_cache_append(ctx, node, graph, tiles):
+    """KV-cache append: DAE scatter of the new tokens' K/V slice.
+
+    The output tensor *is* the cache (the runner aliases them to the same
+    DRAM storage), so only the appended slice moves off-chip — O(new
+    tokens) traffic per decode step, never O(max context). ``perm``
+    optionally lays the slice out transposed (the K-cache stores keys
+    pre-transposed for the score matmul).
+    """
+    from .ir import TransferSlot
+    out_name = node.outputs[0]
+    out_shape = graph.out_spec(node).shape
+    axis = node.attr("axis", 0) % len(out_shape)
+    offset = node.attr("offset", 0)
+    perm = node.attrs.get("perm")
+    new_name = node.inputs[1]
+    spec = graph.tensor(new_name)
+    elems = _split(spec.numel, tiles)
+    res = ctx.source(new_name, (elems,))
+    laid = (tuple(spec.shape[p] for p in perm) if perm
+            else tuple(spec.shape))
+    region = tuple(
+        (offset, offset + laid[d]) if d == axis else (0, out_shape[d])
+        for d in range(len(out_shape)))
+    # DAE store semantics: the scratchpad block is interpreted as
+    # perm(pre_reshape) and inverse-permuted on the way out; the block
+    # holds ``new`` in C order, so pre_reshape is the DRAM-side slice
+    # shape and the transfer perm is the node perm's inverse.
+    inv = None
+    if perm:
+        inv = [0] * len(perm)
+        for i, p in enumerate(perm):
+            inv[p] = i
+    ctx.add_transfer(TransferSlot(
+        direction="st", tensor=out_name, ns=res.ns, base=res.base,
+        elements=elems,
+        pre_reshape=laid if tiles == 1 else None,
+        perm=tuple(inv) if (inv and tiles == 1) else None,
+        region=region))
 
 
 @template("Resize")

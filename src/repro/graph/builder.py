@@ -271,6 +271,18 @@ class GraphBuilder:
         """GeLU activation (the paper's flagship emerging operator)."""
         return self._unary("Gelu", x)
 
+    def silu(self, x: str) -> str:
+        """SiLU activation (x * sigmoid(x)), the SwiGLU gate kernel."""
+        return self._unary("Silu", x)
+
+    def swiglu(self, gate: str, up: str) -> str:
+        """SwiGLU gated activation: silu(gate) * up (LLaMA-family FFN)."""
+        if self._spec(gate).shape != self._spec(up).shape:
+            raise ValueError(
+                f"swiglu shape mismatch {self._spec(gate).shape} vs "
+                f"{self._spec(up).shape}")
+        return self._emit("SwiGLU", [gate, up], self._spec(gate).shape, "int32")
+
     # -- reductions ----------------------------------------------------------------
     def maxpool(self, x: str, kernel: int, stride: Optional[int] = None,
                 pad: int = 0) -> str:
@@ -314,6 +326,44 @@ class GraphBuilder:
         """Softmax over the last axis."""
         return self._unary("Softmax", x, {"axis": axis})
 
+    def causal_softmax(self, x: str, offset: int = 0) -> str:
+        """Fused masked softmax over the last axis of attention scores.
+
+        ``x`` is (..., q_len, k_len); key column ``j`` is visible to query
+        row ``p`` iff ``j <= p + offset`` (``offset`` = tokens already in
+        the KV-cache). Masked columns contribute exactly zero probability,
+        so a decode step over the full max-context cache ignores the
+        not-yet-written tail without a separate mask tensor.
+        """
+        shape = self._spec(x).shape
+        if len(shape) < 2:
+            raise ValueError(f"causal_softmax needs (..., q, k), got {shape}")
+        return self._unary("CausalSoftmax", x, {"axis": -1, "offset": offset})
+
+    def rms_norm(self, x: str) -> str:
+        """RMSNorm over the last axis with a learned gamma scale."""
+        shape = self._spec(x).shape
+        gamma = self._param("w_rms", (shape[-1],), "int32")
+        return self._emit("RMSNorm", [x], shape, "int32",
+                          {"axis": -1, "reduced": shape[-1]}, [gamma])
+
+    def rope(self, x: str) -> str:
+        """Rotary position embedding over interleaved (even, odd) pairs.
+
+        ``x`` is (..., seq, head_dim); the cos/sin tables are parameters of
+        shape (seq, head_dim // 2) whose *values* carry the absolute
+        position (so a decode step binds tables sliced at the current
+        offset — the graph itself is position-agnostic).
+        """
+        shape = self._spec(x).shape
+        if len(shape) < 2 or shape[-1] % 2:
+            raise ValueError(f"rope needs (..., seq, even head_dim), got {shape}")
+        seq, half = shape[-2], shape[-1] // 2
+        cos = self._param("c_ropecos", (seq, half), "int32")
+        sin = self._param("c_ropesin", (seq, half), "int32")
+        return self._emit("Rope", [x], shape, "int32", {"half": half},
+                          [cos, sin])
+
     # -- layout ----------------------------------------------------------------------
     def transpose(self, x: str, perm: Sequence[int]) -> str:
         """Permute tensor dimensions."""
@@ -342,6 +392,35 @@ class GraphBuilder:
         shape = list(specs[0].shape)
         shape[axis] = sum(s.shape[axis] for s in specs)
         return self._emit("Concat", list(xs), shape, specs[0].dtype, {"axis": axis})
+
+    def cache_append(self, cache: str, new: str, axis: int, offset: int,
+                     perm: Optional[Sequence[int]] = None) -> str:
+        """Scatter ``new`` into ``cache`` at ``offset`` along ``axis``.
+
+        The output has the cache's (max-context) shape; only the appended
+        slice moves through the DAE — O(new tokens) DRAM traffic per decode
+        step. ``perm`` optionally permutes ``new`` on the way out (e.g. the
+        K-cache stores keys pre-transposed for the score matmul).
+        """
+        cache_shape = self._spec(cache).shape
+        new_shape = self._spec(new).shape
+        laid = tuple(new_shape[p] for p in perm) if perm else tuple(new_shape)
+        if len(laid) != len(cache_shape):
+            raise ValueError(
+                f"cache_append rank mismatch {laid} vs {cache_shape}")
+        for d, (n, c) in enumerate(zip(laid, cache_shape)):
+            if d != axis and n != c:
+                raise ValueError(
+                    f"cache_append dim {d} mismatch {laid} vs {cache_shape}")
+        if offset < 0 or offset + laid[axis] > cache_shape[axis]:
+            raise ValueError(
+                f"cache_append slice [{offset}:{offset + laid[axis]}] exceeds "
+                f"cache extent {cache_shape[axis]}")
+        attrs = {"axis": axis, "offset": offset}
+        if perm:
+            attrs["perm"] = tuple(perm)
+        return self._emit("CacheAppend", [cache, new], cache_shape, "int32",
+                          attrs, prefix="kvcache")
 
     def resize(self, x: str, scale: int = 2) -> str:
         """Nearest-neighbour spatial upsampling."""

@@ -151,6 +151,19 @@ register(OpInfo("ReduceMean", OpClass.REDUCTION, ops_per_element=1.0, is_reducti
 register(OpInfo("Softmax", OpClass.REDUCTION, ops_per_element=12.0, is_reduction=True))
 
 # --------------------------------------------------------------------------
+# Emerging LLM operators (not in Table 1 — the decode-time operator set
+# the Tensix fusion paper highlights; lowered natively by the Tandem
+# Processor like every other non-GEMM class).
+# --------------------------------------------------------------------------
+register(OpInfo("Silu", OpClass.ACTIVATION, ops_per_element=11.0))
+register(OpInfo("SwiGLU", OpClass.ACTIVATION, arity=2, ops_per_element=13.0))
+register(OpInfo("Rope", OpClass.ELEMENTWISE_MATH, ops_per_element=6.0))
+register(OpInfo("RMSNorm", OpClass.REDUCTION, ops_per_element=5.0,
+                is_reduction=True))
+register(OpInfo("CausalSoftmax", OpClass.REDUCTION, ops_per_element=13.0,
+                is_reduction=True))
+
+# --------------------------------------------------------------------------
 # Data layout transformation (Table 1, row 4)
 # --------------------------------------------------------------------------
 register(OpInfo("Transpose", OpClass.LAYOUT, is_layout_only=True))
@@ -161,6 +174,9 @@ register(OpInfo("Flatten", OpClass.LAYOUT, is_layout_only=True))
 register(OpInfo("Split", OpClass.LAYOUT, is_layout_only=True))
 register(OpInfo("Slice", OpClass.LAYOUT, is_layout_only=True))
 register(OpInfo("Gather", OpClass.LAYOUT, is_layout_only=True))
+# KV-cache slice append: pure DAE scatter of the new token's K/V into a
+# preallocated max-context DRAM cache (O(new) traffic per decode step).
+register(OpInfo("CacheAppend", OpClass.LAYOUT, arity=2, is_layout_only=True))
 
 # --------------------------------------------------------------------------
 # Type conversion (Table 1, row 5)
@@ -176,6 +192,11 @@ def class_of(name: str) -> OpClass:
 def is_gemm_op(name: str) -> bool:
     return op_info(name).is_gemm
 
+
+#: The decode-time operator set added for autoregressive LLM serving
+#: (kept out of ``TABLE1_EXAMPLES``, which mirrors the paper verbatim).
+LLM_OPS = ("RMSNorm", "SwiGLU", "Silu", "Rope", "CausalSoftmax",
+           "CacheAppend")
 
 #: Table 1 verbatim: operator examples per class, for the Table 1 bench.
 TABLE1_EXAMPLES: Dict[OpClass, tuple] = {

@@ -741,6 +741,59 @@ def serving_sweep() -> Experiment:
               f"{ {k: round(v, 1) for k, v in capacity.items()} }")
 
 
+@experiment("llm_serving")
+def llm_serving() -> Experiment:
+    """Continuous vs one-shot batching for autoregressive decoding.
+
+    No paper counterpart (the Tandem paper serves one-shot models); the
+    "paper" column carries the continuous-batching literature's
+    qualitative claims: iteration-level scheduling sustains strictly
+    more goodput at equal SLO than padded one-shot batches, keeps TTFT
+    flat where one-shot queues, and never pays padding decode steps.
+    """
+    from ..llm import (
+        goodput_at_slo,
+        llm_grid,
+        llm_report,
+        llm_table,
+        run_llm_sweep,
+    )
+    from ..runtime import default_jobs
+    from ..serving import LLMServiceCosts
+
+    costs = LLMServiceCosts.resolve("gpt2_rms")
+    points = llm_grid(costs=costs)
+    reports = run_llm_sweep(points, jobs=default_jobs())
+    payload = llm_report(points, reports)
+    cont = payload["summary"]["continuous"]
+    oneshot = payload["summary"]["oneshot"]
+    rows = payload["rows"]
+    min_rate = min(r["rate_rps"] for r in rows)
+    ttft_gap = {r["scheduler"]: r["ttft_p95_ms"] for r in rows
+                if r["rate_rps"] == min_rate}
+    summary = {
+        "continuous_beats_oneshot_goodput_at_slo": (
+            True, payload["summary"]["continuous_beats_oneshot"]),
+        "continuous_ttft_p95_no_worse_at_light_load": (
+            True, ttft_gap["continuous"] <= ttft_gap["oneshot"]),
+        "goodput_at_slo_rps (paper col = one-shot baseline)": (
+            round(oneshot["goodput_at_slo_rps"], 2),
+            round(cont["goodput_at_slo_rps"], 2)),
+    }
+    return Experiment(
+        id="llm_serving",
+        title="LLM serving: continuous vs one-shot batching at SLO",
+        summary=summary,
+        table=llm_table(payload),
+        notes=f"gpt2_rms decode-step costs: prefill "
+              f"{costs.prefill_token_s * 1e6:.2f} us/token, decode "
+              f"{costs.decode_step_s * 1e6:.2f} us/step; KV budget "
+              f"{costs.kv_budget_tokens} tokens; goodput bar: "
+              f">={payload['slo_attainment_bar']:.0%} SLO attainment "
+              f"(goodput_at_slo helper: "
+              f"{goodput_at_slo(rows):.2f} req/s overall)")
+
+
 @experiment("autotune")
 def autotune_pipeline() -> Experiment:
     """Autotuned pass pipeline vs the fixed flow across the zoo.

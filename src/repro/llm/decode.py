@@ -1,0 +1,384 @@
+"""Autoregressive decode-step graphs with an explicit KV-cache.
+
+One :func:`build_step` call emits the graph for a single forward step of
+a LLaMA-style decoder (RMSNorm / SwiGLU / RoPE / fused CausalSoftmax)
+over ``n_new`` fresh tokens with ``past_len`` tokens already resident in
+the KV-cache:
+
+* **Prefill** is ``build_step(config, past_len=0, n_new=prompt_len)``.
+* **Decode** is ``build_step(config, past_len=t, n_new=1)`` per token.
+
+The KV-cache is a first-class DRAM tensor pair per layer. Each step
+takes ``k_cache_L`` / ``v_cache_L`` as graph *inputs* sized to the full
+context window, appends the new keys/values with ``CacheAppend`` (the
+compiled program stores only the O(n_new) slice; the DRAM tensors are
+aliased so the update lands in place — see
+:meth:`repro.simulator.DramStore.alias`), and attends over the whole
+window through the GEMM unit. Cache columns beyond ``past + n_new`` are
+zero and masked off by ``CausalSoftmax``'s ``offset`` anyway, so the
+incremental path is bit-exact against a full-context prefill — the
+property ``tests/test_llm_decode.py`` pins.
+
+:class:`DecodeSession` drives multi-step generation through either the
+:class:`~repro.npu.FunctionalRunner` (detailed machine, tiny configs) or
+the :class:`~repro.compiler.ReferenceExecutor`, feeding each step's
+cache outputs forward as the next step's cache inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import Graph, GraphBuilder
+from ..runtime import seeded_rng
+
+#: Q-format fraction bits shared with the integer lowerings.
+from ..compiler.integer_ops import FRAC_BITS
+
+
+@dataclass(frozen=True)
+class LLMConfig:
+    """Shape of one autoregressive decoder, plus its context window."""
+    name: str
+    hidden: int
+    heads: int
+    layers: int
+    intermediate: int
+    vocab: int
+    max_context: int
+
+    def __post_init__(self):
+        if self.hidden % self.heads:
+            raise ValueError("hidden must divide evenly across heads")
+        if (self.hidden // self.heads) % 2:
+            raise ValueError("head_dim must be even for rotary embeddings")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.heads
+
+    @property
+    def kv_words_per_token(self) -> int:
+        """KV-cache words appended per decoded token (K + V, all layers)."""
+        return 2 * self.layers * self.hidden
+
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """DRAM bytes per cached token (int32 words)."""
+        return 4 * self.kv_words_per_token
+
+
+#: Decode-config registry. ``tinyllm`` is sized so every step compiles
+#: at tiles == 1 and runs on the detailed machine; ``gpt2_rms`` matches
+#: the zoo's GPT-2-RMS variant and anchors the serving cost model.
+LLM_CONFIGS: Dict[str, LLMConfig] = {
+    "tinyllm": LLMConfig("tinyllm", hidden=32, heads=2, layers=2,
+                         intermediate=64, vocab=96, max_context=16),
+    "gpt2_rms": LLMConfig("gpt2_rms", hidden=128, heads=4, layers=2,
+                          intermediate=256, vocab=8192, max_context=128),
+}
+
+
+def available_llm_configs() -> List[str]:
+    return sorted(LLM_CONFIGS)
+
+
+def get_llm_config(name: str) -> LLMConfig:
+    try:
+        return LLM_CONFIGS[name]
+    except KeyError:
+        raise KeyError(f"unknown LLM config {name!r}; available: "
+                       f"{', '.join(available_llm_configs())}") from None
+
+
+@dataclass(frozen=True)
+class DecodeStep:
+    """One compiled-shape step: the graph plus its binding map."""
+    graph: Graph
+    config: LLMConfig
+    past_len: int
+    n_new: int
+    x_name: str
+    logits_name: str
+    #: Per layer: (k_cache input, v_cache input) graph-input names.
+    cache_inputs: Tuple[Tuple[str, str], ...]
+    #: Per layer: (k_cache output, v_cache output) names, aligned with
+    #: ``cache_inputs``.
+    cache_outputs: Tuple[Tuple[str, str], ...]
+    #: Rotary-table parameter names; every entry is bound to the
+    #: ``[past_len, past_len + n_new)`` rows of the full table.
+    rope_cos_names: Tuple[str, ...]
+    rope_sin_names: Tuple[str, ...]
+
+
+def _linear(b: GraphBuilder, x: str, features: int, bias: bool = True) -> str:
+    y = b.linear_weights_matmul(x, features)
+    if bias:
+        param = b.param("b_proj", (features,), "int32")
+        y = b.emit("Add", [y], b.spec(y).shape, "int32", {}, [param])
+    return y
+
+
+def build_step(config: LLMConfig, past_len: int, n_new: int) -> DecodeStep:
+    """The decode-step graph for ``n_new`` tokens after ``past_len``."""
+    if n_new < 1:
+        raise ValueError("n_new must be >= 1")
+    if past_len < 0 or past_len + n_new > config.max_context:
+        raise ValueError(
+            f"step [{past_len}, {past_len + n_new}) exceeds the "
+            f"{config.max_context}-token context window")
+    h, hd, ctx = config.heads, config.head_dim, config.max_context
+    b = GraphBuilder(f"{config.name}_p{past_len}_n{n_new}")
+    x_in = x = b.input("x", (1, n_new, config.hidden), dtype="int32")
+    cache_inputs: List[Tuple[str, str]] = []
+    cache_outputs: List[Tuple[str, str]] = []
+    for layer in range(config.layers):
+        # K is cached pre-transposed (1, h, hd, ctx) so the QK^T matmul
+        # reads it directly; V keeps (1, h, ctx, hd) for probs @ V.
+        k_in = b.input(f"k_cache_{layer}", (1, h, hd, ctx), dtype="int32")
+        v_in = b.input(f"v_cache_{layer}", (1, h, ctx, hd), dtype="int32")
+        cache_inputs.append((k_in, v_in))
+
+        pre = b.rms_norm(x)
+        q = _linear(b, pre, config.hidden)
+        k = _linear(b, pre, config.hidden)
+        v = _linear(b, pre, config.hidden)
+        # Split heads: (1, n_new, hidden) -> (1, h, n_new, hd).
+        q = b.transpose(b.reshape(q, (1, n_new, h, hd)), (0, 2, 1, 3))
+        k = b.transpose(b.reshape(k, (1, n_new, h, hd)), (0, 2, 1, 3))
+        v = b.transpose(b.reshape(v, (1, n_new, h, hd)), (0, 2, 1, 3))
+        q = b.rope(q)
+        k = b.rope(k)
+        k_cache = b.cache_append(k_in, k, axis=3, offset=past_len,
+                                 perm=(0, 1, 3, 2))
+        v_cache = b.cache_append(v_in, v, axis=2, offset=past_len)
+        cache_outputs.append((k_cache, v_cache))
+
+        scores = b.matmul(q, k_cache)              # (1, h, n_new, ctx)
+        scores = b.div_scalar(scores, sqrt(hd))
+        probs = b.causal_softmax(scores, offset=past_len)
+        context = b.matmul(probs, v_cache)         # (1, h, n_new, hd)
+        context = b.reshape(b.transpose(context, (0, 2, 1, 3)),
+                            (1, n_new, config.hidden))
+        x = b.add(x, _linear(b, context, config.hidden))
+
+        pre = b.rms_norm(x)
+        gate = _linear(b, pre, config.intermediate)
+        up = _linear(b, pre, config.intermediate)
+        x = b.add(x, _linear(b, b.swiglu(gate, up), config.hidden))
+
+    x = b.rms_norm(x)
+    logits = b.linear_weights_matmul(x, config.vocab)
+    outputs = [logits]
+    for k_cache, v_cache in cache_outputs:
+        outputs.extend((k_cache, v_cache))
+    graph = b.finish(outputs)
+    cos = tuple(t for t in graph.tensors if t.startswith("c_ropecos"))
+    sin = tuple(t for t in graph.tensors if t.startswith("c_ropesin"))
+    return DecodeStep(graph=graph, config=config, past_len=past_len,
+                      n_new=n_new, x_name=x_in, logits_name=logits,
+                      cache_inputs=tuple(cache_inputs),
+                      cache_outputs=tuple(cache_outputs),
+                      rope_cos_names=cos, rope_sin_names=sin)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic parameters
+# ---------------------------------------------------------------------------
+def rope_tables(config: LLMConfig) -> Tuple[np.ndarray, np.ndarray]:
+    """Q8 rotary cos/sin tables for the full context window.
+
+    Standard RoPE frequencies (theta = 10000); rows are absolute
+    positions, so a step at ``past_len`` binds rows
+    ``[past_len, past_len + n_new)``.
+    """
+    half = config.head_dim // 2
+    inv_freq = 10000.0 ** (-np.arange(half) * 2.0 / config.head_dim)
+    angles = np.arange(config.max_context)[:, None] * inv_freq[None, :]
+    scale = 1 << FRAC_BITS
+    cos = np.round(np.cos(angles) * scale).astype(np.int64)
+    sin = np.round(np.sin(angles) * scale).astype(np.int64)
+    return cos, sin
+
+
+def embed_table(config: LLMConfig) -> np.ndarray:
+    """Seeded token-embedding table (host-side lookup; Gather is
+    cost-only in the compiled flow, so the step graph takes embedded
+    activations as its input)."""
+    rng = seeded_rng("llm-embed", config.name)
+    return rng.integers(-128, 128, (config.vocab, config.hidden))
+
+
+def step_weights(step: DecodeStep) -> Dict[str, np.ndarray]:
+    """Weights for every parameter of a step graph, keyed by name.
+
+    Values derive from ``seeded_rng("llm-weight", config, name)``: the
+    builder uniquifies parameter names in emission order, and every step
+    of one config emits the same layer structure, so the same logical
+    weight gets the same name — and therefore the same values — at every
+    ``(past_len, n_new)`` shape.
+    """
+    graph, config = step.graph, step.config
+    rope = set(step.rope_cos_names) | set(step.rope_sin_names)
+    cos, sin = rope_tables(config)
+    rows = slice(step.past_len, step.past_len + step.n_new)
+    weights: Dict[str, np.ndarray] = {}
+    for name, spec in graph.tensors.items():
+        if graph.producer(name) is not None or name in graph.graph_inputs:
+            continue
+        if name in rope:
+            table = cos if name in step.rope_cos_names else sin
+            weights[name] = table[rows]
+            continue
+        rng = seeded_rng("llm-weight", config.name, name)
+        weights[name] = rng.integers(-64, 64, spec.shape)
+    return weights
+
+
+@dataclass
+class StepRecord:
+    """What one executed step did (for tables, traces and tests)."""
+    phase: str                 # "prefill" | "decode"
+    past_len: int
+    n_new: int
+    tokens_in: Tuple[int, ...]
+    next_token: int
+    blocks: int = 0
+    machine_cycles: int = 0
+
+
+class DecodeSession:
+    """Multi-step autoregressive generation over one config.
+
+    ``executor="functional"`` runs every step's compiled program on the
+    detailed Tandem machine (requires a config that compiles at
+    tiles == 1, e.g. ``tinyllm``); ``executor="reference"`` uses the
+    integer reference executor and works for any config. Both paths
+    share the same seeded weights and the same KV-cache hand-off, and
+    produce identical tokens.
+    """
+
+    def __init__(self, config, executor: str = "functional",
+                 fast: bool = True):
+        self.config = (config if isinstance(config, LLMConfig)
+                       else get_llm_config(config))
+        if executor not in ("functional", "reference"):
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                f"(expected 'functional' or 'reference')")
+        self.executor = executor
+        self.fast = fast
+        self.embed = embed_table(self.config)
+        cfg = self.config
+        self.k_caches = [np.zeros((1, cfg.heads, cfg.head_dim,
+                                   cfg.max_context), dtype=np.int64)
+                         for _ in range(cfg.layers)]
+        self.v_caches = [np.zeros((1, cfg.heads, cfg.max_context,
+                                   cfg.head_dim), dtype=np.int64)
+                         for _ in range(cfg.layers)]
+        self.past_len = 0
+        self.tokens: List[int] = []
+        self.last_logits: Optional[np.ndarray] = None
+        self.records: List[StepRecord] = []
+
+    def _run_step(self, token_ids: Sequence[int], phase: str) -> np.ndarray:
+        token_ids = [int(t) % self.config.vocab for t in token_ids]
+        step = build_step(self.config, self.past_len, len(token_ids))
+        graph = step.graph
+        weights = step_weights(step)
+        x = self.embed[token_ids][None, :, :]
+        inputs: Dict[str, np.ndarray] = {step.x_name: x}
+        for layer, (k_in, v_in) in enumerate(step.cache_inputs):
+            inputs[k_in] = self.k_caches[layer]
+            inputs[v_in] = self.v_caches[layer]
+        blocks = 0
+        cycles = 0
+        if self.executor == "functional":
+            from ..compiler import compile_model
+            from ..npu import FunctionalRunner
+            model = compile_model(graph)
+            runner = FunctionalRunner(model, fast=self.fast)
+            runner.bind(weights)
+            outs = runner.run(inputs)
+            blocks = len(model.blocks)
+            cycles = runner.total_machine_result().cycles
+        else:
+            from ..compiler import ReferenceExecutor
+            outs = ReferenceExecutor(graph).run({**weights, **inputs})
+        for layer, (k_out, v_out) in enumerate(step.cache_outputs):
+            self.k_caches[layer] = np.array(outs[k_out], dtype=np.int64)
+            self.v_caches[layer] = np.array(outs[v_out], dtype=np.int64)
+        logits = np.asarray(outs[step.logits_name])
+        self.past_len += len(token_ids)
+        self.tokens.extend(token_ids)
+        self.last_logits = logits
+        self.records.append(StepRecord(
+            phase=phase, past_len=step.past_len, n_new=step.n_new,
+            tokens_in=tuple(token_ids),
+            next_token=int(np.argmax(logits[0, -1])),
+            blocks=blocks, machine_cycles=int(cycles)))
+        return logits
+
+    def prefill(self, prompt_tokens: Sequence[int]) -> np.ndarray:
+        """Run the whole prompt as one step; returns its logits."""
+        if self.past_len:
+            raise RuntimeError("prefill must be the session's first step")
+        if not len(prompt_tokens):
+            raise ValueError("prompt must be non-empty")
+        return self._run_step(prompt_tokens, "prefill")
+
+    def decode(self, n_tokens: int) -> List[int]:
+        """Greedy-decode ``n_tokens`` single-token steps; returns them."""
+        if self.last_logits is None:
+            raise RuntimeError("call prefill() before decode()")
+        generated: List[int] = []
+        for _ in range(n_tokens):
+            next_token = int(np.argmax(self.last_logits[0, -1]))
+            generated.append(next_token)
+            self._run_step([next_token], "decode")
+        return generated
+
+
+# ---------------------------------------------------------------------------
+# Analytic step costs (feeds the serving layer)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecodeStepCosts:
+    """NPU-Tandem latencies for one config's prefill/decode shapes."""
+    config: str
+    prefill_tokens: int
+    prefill_s: float         # one prefill step over ``prefill_tokens``
+    decode_step_s: float     # one single-token decode step
+    kv_bytes_per_token: int
+    max_context: int
+
+    @property
+    def prefill_token_s(self) -> float:
+        return self.prefill_s / self.prefill_tokens
+
+
+def decode_step_costs(config, prefill_tokens: int = 32,
+                      decode_past: Optional[int] = None,
+                      npu=None) -> DecodeStepCosts:
+    """Evaluate representative prefill/decode steps on the NPU model.
+
+    Both evaluations flow through :meth:`repro.npu.NPUTandem.evaluate`
+    and are content-cached, so serving sweeps resolve them once.
+    """
+    from ..npu import NPUTandem
+    cfg = config if isinstance(config, LLMConfig) else get_llm_config(config)
+    npu = npu or NPUTandem()
+    prefill_tokens = min(prefill_tokens, cfg.max_context)
+    past = (cfg.max_context // 2 if decode_past is None
+            else min(decode_past, cfg.max_context - 1))
+    prefill_s = npu.evaluate(
+        build_step(cfg, 0, prefill_tokens).graph).total_seconds
+    decode_s = npu.evaluate(build_step(cfg, past, 1).graph).total_seconds
+    return DecodeStepCosts(config=cfg.name, prefill_tokens=prefill_tokens,
+                           prefill_s=prefill_s, decode_step_s=decode_s,
+                           kv_bytes_per_token=cfg.kv_bytes_per_token,
+                           max_context=cfg.max_context)

@@ -4,27 +4,47 @@
 The paper calls out ReduceMean (inside the LayerNorms) as the dominant
 residual non-GEMM cost for GPT-2 (Figure 24) and notes the scaled-up
 Tandem Processor becomes memory-bandwidth-bound on it (Figure 23).
+
+``build_gpt2_rms`` is the LLM-operator variant: RMSNorm pre-norms,
+SwiGLU feed-forward, rotary position embeddings, and the fused
+CausalSoftmax attention tail — the emerging-operator set of
+LLaMA-family decoders, sized small enough to compile quickly.
 """
 
 from __future__ import annotations
 
 from ..graph import Graph, GraphBuilder
-from .transformer import embedding, ffn, layer_norm, multi_head_attention
+from .transformer import embedding, ffn, multi_head_attention, norm
 
 
 def build_gpt2(seq: int = 256, hidden: int = 768, layers: int = 12,
-               heads: int = 12, intermediate: int = 3072) -> Graph:
-    b = GraphBuilder("gpt2")
+               heads: int = 12, intermediate: int = 3072,
+               vocab: int = 50257, norm_kind: str = "layer",
+               activation: str = "gelu", rope: bool = False,
+               fused_causal: bool = False, name: str = "gpt2") -> Graph:
+    b = GraphBuilder(name)
     tokens = b.input("tokens", (1, seq), dtype="int32")
     # Token + position embeddings (pre-norm architecture: no embedding LN).
     x = embedding(b, tokens, seq, hidden, n_tables=2)
     for _ in range(layers):
-        attn = multi_head_attention(b, layer_norm(b, x, hidden), seq, hidden,
-                                    heads, causal=True)
+        attn = multi_head_attention(b, norm(b, x, hidden, norm_kind), seq,
+                                    hidden, heads, causal=True, rope=rope,
+                                    fused_causal=fused_causal)
         x = b.add(x, attn)
-        ff = ffn(b, layer_norm(b, x, hidden), hidden, intermediate)
+        ff = ffn(b, norm(b, x, hidden, norm_kind), hidden, intermediate,
+                 activation=activation)
         x = b.add(x, ff)
-    x = layer_norm(b, x, hidden)
+    x = norm(b, x, hidden, norm_kind)
     # LM head: tied-embedding projection to the vocabulary.
-    logits = b.linear_weights_matmul(x, 50257)
+    logits = b.linear_weights_matmul(x, vocab)
     return b.finish([logits])
+
+
+def build_gpt2_rms(seq: int = 64, hidden: int = 128, layers: int = 2,
+                   heads: int = 4, intermediate: int = 256,
+                   vocab: int = 8192) -> Graph:
+    """Small LLaMA-style decoder: RMSNorm + SwiGLU + RoPE + CausalSoftmax."""
+    return build_gpt2(seq=seq, hidden=hidden, layers=layers, heads=heads,
+                      intermediate=intermediate, vocab=vocab,
+                      norm_kind="rms", activation="swiglu", rope=True,
+                      fused_causal=True, name="gpt2_rms")

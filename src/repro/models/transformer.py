@@ -33,6 +33,15 @@ def layer_norm(b: GraphBuilder, x: str, hidden: int) -> str:
     return b.emit("Add", [scaled], b.spec(scaled).shape, "int32", {}, [beta])
 
 
+def norm(b: GraphBuilder, x: str, hidden: int, kind: str = "layer") -> str:
+    """Pre-norm dispatch: classic LayerNorm or the fused RMSNorm op."""
+    if kind == "layer":
+        return layer_norm(b, x, hidden)
+    if kind == "rms":
+        return b.rms_norm(x)
+    raise ValueError(f"unknown norm kind {kind!r} (expected 'layer' or 'rms')")
+
+
 def _split_heads(b: GraphBuilder, x: str, seq: int, heads: int,
                  head_dim: int) -> str:
     """(1, seq, hidden) -> (1, heads, seq, head_dim)."""
@@ -47,8 +56,15 @@ def _merge_heads(b: GraphBuilder, x: str, seq: int, hidden: int) -> str:
 
 
 def multi_head_attention(b: GraphBuilder, x: str, seq: int, hidden: int,
-                         heads: int, causal: bool = False) -> str:
-    """Self-attention block: projections, scaled softmax, context, output."""
+                         heads: int, causal: bool = False,
+                         rope: bool = False,
+                         fused_causal: bool = False) -> str:
+    """Self-attention block: projections, scaled softmax, context, output.
+
+    ``rope`` rotates Q/K with rotary position embeddings (LLaMA-style);
+    ``fused_causal`` replaces the additive-mask + Softmax pair with the
+    fused CausalSoftmax operator.
+    """
     head_dim = hidden // heads
     q = _add_bias(b, b.linear_weights_matmul(x, hidden), hidden)
     k = _add_bias(b, b.linear_weights_matmul(x, hidden), hidden)
@@ -56,15 +72,21 @@ def multi_head_attention(b: GraphBuilder, x: str, seq: int, hidden: int,
     q = _split_heads(b, q, seq, heads, head_dim)
     k = _split_heads(b, k, seq, heads, head_dim)
     v = _split_heads(b, v, seq, heads, head_dim)
+    if rope:
+        q = b.rope(q)
+        k = b.rope(k)
     kt = b.transpose(k, (0, 1, 3, 2))
     scores = b.matmul(q, kt)
     scores = b.div_scalar(scores, sqrt(head_dim))
-    # Padding mask (BERT) or causal mask (GPT-2) arrives as an additive
-    # tensor; both appear as one Add in the ONNX graphs.
-    mask = b.param("c_attn_mask", (1, 1, seq, seq), "int32")
-    scores = b.emit("Add", [scores], b.spec(scores).shape, "int32",
-                     {"causal": causal}, [mask])
-    probs = b.softmax(scores, axis=-1)
+    if fused_causal:
+        probs = b.causal_softmax(scores)
+    else:
+        # Padding mask (BERT) or causal mask (GPT-2) arrives as an
+        # additive tensor; both appear as one Add in the ONNX graphs.
+        mask = b.param("c_attn_mask", (1, 1, seq, seq), "int32")
+        scores = b.emit("Add", [scores], b.spec(scores).shape, "int32",
+                        {"causal": causal}, [mask])
+        probs = b.softmax(scores, axis=-1)
     context = b.matmul(probs, v)
     context = _merge_heads(b, context, seq, hidden)
     return _add_bias(b, b.linear_weights_matmul(context, hidden), hidden)
@@ -76,19 +98,32 @@ def _add_bias(b: GraphBuilder, x: str, features: int) -> str:
     return b.emit("Add", [x], b.spec(x).shape, "int32", {}, [bias])
 
 
-def ffn(b: GraphBuilder, x: str, hidden: int, intermediate: int) -> str:
-    """Position-wise feed-forward: Linear -> GeLU -> Linear."""
-    y = _add_bias(b, b.linear_weights_matmul(x, intermediate), intermediate)
-    y = b.gelu(y)
+def ffn(b: GraphBuilder, x: str, hidden: int, intermediate: int,
+        activation: str = "gelu") -> str:
+    """Position-wise feed-forward: Linear -> GeLU -> Linear, or the
+    gated Linear(gate)/Linear(up) -> SwiGLU -> Linear variant."""
+    if activation == "swiglu":
+        gate = _add_bias(b, b.linear_weights_matmul(x, intermediate),
+                         intermediate)
+        up = _add_bias(b, b.linear_weights_matmul(x, intermediate),
+                       intermediate)
+        y = b.swiglu(gate, up)
+    elif activation == "gelu":
+        y = _add_bias(b, b.linear_weights_matmul(x, intermediate),
+                      intermediate)
+        y = b.gelu(y)
+    else:
+        raise ValueError(
+            f"unknown activation {activation!r} (expected 'gelu' or 'swiglu')")
     return _add_bias(b, b.linear_weights_matmul(y, hidden), hidden)
 
 
 def embedding(b: GraphBuilder, tokens: str, seq: int, hidden: int,
-              n_tables: int) -> str:
+              n_tables: int, vocab: int = 30522) -> str:
     """Gather-based embedding lookup(s) summed together, then cast."""
     parts = []
     for _ in range(n_tables):
-        table = b.param("w_embed", (30522, hidden), "int32")
+        table = b.param("w_embed", (vocab, hidden), "int32")
         parts.append(
             b.emit("Gather", [tokens], (1, seq, hidden), "int32", {}, [table])
         )

@@ -13,7 +13,7 @@ from typing import Callable, Dict, List
 from ..graph import Graph
 from .bert import build_bert
 from .efficientnet import build_efficientnet
-from .gpt2 import build_gpt2
+from .gpt2 import build_gpt2, build_gpt2_rms
 from .mobilenetv2 import build_mobilenetv2
 from .resnet50 import build_resnet50
 from .tinynet import build_tinynet
@@ -28,6 +28,7 @@ _BUILDERS: Dict[str, Callable[[], Graph]] = {
     "efficientnet": build_efficientnet,
     "bert": build_bert,
     "gpt2": build_gpt2,
+    "gpt2_rms": build_gpt2_rms,
     "tinynet": build_tinynet,
 }
 
@@ -56,6 +57,7 @@ DISPLAY_NAMES: Dict[str, str] = {
     "efficientnet": "EfficientNet",
     "bert": "BERT",
     "gpt2": "GPT-2",
+    "gpt2_rms": "GPT-2-RMS",
     "tinynet": "TinyNet",
 }
 

@@ -81,6 +81,21 @@ class FunctionalRunner:
             if name not in self.dram:
                 self.dram.allocate(name, spec.shape)
 
+    def _alias_caches(self) -> None:
+        """Alias each CacheAppend output to its cache input's storage.
+
+        The compiled program stores only the appended K/V slice; sharing
+        the DRAM array makes that in-place slice update visible under the
+        output's name (and keeps per-step traffic O(new tokens))."""
+        for node in self.model.graph.topological_order():
+            if node.op_type != "CacheAppend":
+                continue
+            cache_in = node.inputs[0]
+            if cache_in not in self.dram:
+                self.dram.allocate(
+                    cache_in, self.model.graph.tensor(cache_in).shape)
+            self.dram.alias(node.outputs[0], cache_in)
+
     def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Execute end-to-end; returns every DRAM tensor after the run.
 
@@ -88,6 +103,7 @@ class FunctionalRunner:
         bound beforehand (:meth:`bind`), or they default to zeros.
         """
         self.bind(inputs)
+        self._alias_caches()
         self._ensure_allocated()
         graph = self.model.graph
         array = SystolicArray(self.model.gemm_params)

@@ -9,6 +9,18 @@ a routed device fleet (:mod:`~repro.serving.fleet`), SLO metrics
 and the ``serving_sweep`` harness experiment.
 """
 
+from .continuous import (
+    DEFAULT_LLM_SLO_MULTIPLIER,
+    LLM_SCHEDULERS,
+    ContinuousBatcher,
+    LLMRequest,
+    LLMServiceCosts,
+    OneShotBatcher,
+    default_kv_budget,
+    default_max_slots,
+    llm_poisson_requests,
+    make_llm_batcher,
+)
 from .fleet import (
     ROUTING_POLICIES,
     DeviceState,
@@ -18,6 +30,7 @@ from .fleet import (
 )
 from .metrics import (
     DEFAULT_SLO_MULTIPLIER,
+    LLMServingReport,
     MetricsCollector,
     ServingReport,
     percentile,
@@ -55,17 +68,24 @@ from .workload import (
 
 __all__ = [
     "BATCH_POLICIES",
+    "DEFAULT_LLM_SLO_MULTIPLIER",
     "DEFAULT_SLO_MULTIPLIER",
+    "LLM_SCHEDULERS",
     "RESILIENCE_POLICIES",
     "ROUTING_POLICIES",
     "AdmissionPolicy",
     "BatchPolicy",
     "ClosedLoop",
+    "ContinuousBatcher",
     "DeviceState",
     "FleetSimulator",
+    "LLMRequest",
+    "LLMServiceCosts",
+    "LLMServingReport",
     "Launch",
     "MetricsCollector",
     "ModelCost",
+    "OneShotBatcher",
     "OpenLoopPoisson",
     "Request",
     "ResiliencePolicy",
@@ -76,6 +96,10 @@ __all__ = [
     "TraceReplay",
     "Wait",
     "Workload",
+    "default_kv_budget",
+    "default_max_slots",
+    "llm_poisson_requests",
+    "make_llm_batcher",
     "by_config",
     "default_grid",
     "knee_sharpness",

@@ -144,6 +144,84 @@ class ServingReport:
         return render_table(("metric", "value"), rows, title=title)
 
 
+@dataclass
+class LLMServingReport:
+    """One LLM batching simulation's results (plain data, JSON-able).
+
+    Decode-phase telemetry follows the LLM-serving convention: **TTFT**
+    (time to first token — arrival through prefill and the first decode
+    step) and **ITL** (inter-token latency — gaps between a request's
+    consecutive tokens, which absorb other requests' prefill stalls
+    under continuous batching). Goodput counts completions within
+    ``slo_multiplier`` x the request's isolated (ideal) latency.
+    """
+    # -- configuration echo -------------------------------------------------
+    scheduler: str                  # "continuous" | "oneshot"
+    config: str                     # LLM config name
+    max_slots: int
+    kv_budget_tokens: int
+    rate_rps: float
+    duration_s: float
+    slo_multiplier: float
+    # -- outcomes -----------------------------------------------------------
+    offered: int = 0
+    completed: int = 0
+    rejected: int = 0
+    makespan_s: float = 0.0
+    throughput_rps: float = 0.0
+    goodput_rps: float = 0.0
+    slo_attainment: float = 0.0
+    tokens_generated: int = 0
+    tokens_per_s: float = 0.0
+    mean_batch_size: float = 0.0    # mean active slots per decode step
+    kv_peak_tokens: int = 0
+    mean_latency_ms: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    ttft_p50_ms: float = 0.0
+    ttft_p95_ms: float = 0.0
+    ttft_p99_ms: float = 0.0
+    itl_p50_ms: float = 0.0
+    itl_p95_ms: float = 0.0
+    itl_p99_ms: float = 0.0
+
+    def as_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
+    def table(self) -> str:
+        from ..harness.report import render_table
+        rows = [
+            ("scheduler", self.scheduler),
+            ("config", self.config),
+            ("slots / KV budget (tokens)",
+             f"{self.max_slots} / {self.kv_budget_tokens}"),
+            ("offered rate (req/s)", self.rate_rps),
+            ("offered / completed / rejected",
+             f"{self.offered} / {self.completed} / {self.rejected}"),
+            ("throughput (req/s)", self.throughput_rps),
+            ("goodput (req/s)", self.goodput_rps),
+            ("SLO attainment", self.slo_attainment),
+            ("tokens/s", self.tokens_per_s),
+            ("mean decode batch", self.mean_batch_size),
+            ("KV peak (tokens)", self.kv_peak_tokens),
+            ("latency p50/p95/p99 (ms)",
+             f"{self.p50_ms:.3f} / {self.p95_ms:.3f} / {self.p99_ms:.3f}"),
+            ("TTFT p50/p95/p99 (ms)",
+             f"{self.ttft_p50_ms:.3f} / {self.ttft_p95_ms:.3f} / "
+             f"{self.ttft_p99_ms:.3f}"),
+            ("ITL p50/p95/p99 (ms)",
+             f"{self.itl_p50_ms:.3f} / {self.itl_p95_ms:.3f} / "
+             f"{self.itl_p99_ms:.3f}"),
+        ]
+        title = (f"llm serving: {self.config}, {self.scheduler} batching "
+                 f"@ {self.rate_rps:g} req/s")
+        return render_table(("metric", "value"), rows, title=title)
+
+
 class MetricsCollector:
     """Accumulates per-request outcomes during one simulation."""
 

@@ -20,7 +20,11 @@ Three writer classes are proven safe (``supported``):
   destination, e.g. a per-row scalar recomputed at every point of a
   softmax body) — the full per-point value grid is *forwarded* to later
   same-walk readers, and memory receives the last point's slice, which
-  is exactly the point-major final state.
+  is exactly the point-major final state. A temporary may also be
+  read-modify-written *within* one point (RMSNorm's shift / divide /
+  scale chain through one scratch slot): the aliasing read is safe when
+  an earlier statement already wrote this point's value on the same
+  walk, because the forwarded grid is exact per point.
 
 Enabled with ``TandemMachine(..., fast=True)``; equivalence against the
 scalar path is asserted by tests.
@@ -144,6 +148,7 @@ class FastNestExecutor:
         rejects the nest on the first unprovable hazard.
         """
         infos = []
+        forwarded: set = set()   # (ns, walk-key) of dup writers so far
         for inst in self.body:
             dst_entry = self._entry(inst.dst)
             dup = self._dup_levels(dst_entry)
@@ -156,15 +161,25 @@ class FastNestExecutor:
                 acc_reads = ([inst.src1] if wclass == _REDUCTION
                              and inst.opcode == Opcode.ALU
                              and inst.func != int(AluFunc.MACC) else [])
+                dst_key = _walk_key(dst_entry, self.levels)
                 for read in self._reads_of(inst):
                     if read is None or read is inst.dst or read in acc_reads:
                         continue
                     if read.ns == inst.dst.ns and \
                             self._entry(read).base == dst_entry.base:
-                        # A non-accumulator source aliasing the
-                        # destination makes every point depend on the
-                        # previous point's write.
+                        if wclass == _TEMP and \
+                                _walk_key(self._entry(read),
+                                          self.levels) == dst_key and \
+                                (read.ns, dst_key) in forwarded:
+                            # Same-point RMW chain on a streamed
+                            # temporary: an earlier statement wrote this
+                            # point's value on the same walk, so the
+                            # forwarded grid the read observes is exact.
+                            continue
+                        # Otherwise the read observes the previous
+                        # point's write: a loop-carried dependence.
                         return False
+                forwarded.add((inst.dst.ns, dst_key))
             infos.append((inst, dst_entry, dup, wclass, mode))
 
         # Write-write hazards: two writers of one allocation must be the

@@ -200,6 +200,69 @@ def serving_trace_events(log: Iterable[Mapping[str, Any]],
     return out
 
 
+#: pid block for the LLM batching engine's simulated timeline.
+LLM_PID = 3000
+#: tid of the engine-wide decode-step track.
+_LLM_STEP_TID = 0
+#: tid of the completion/reject lifecycle track.
+_LLM_LIFECYCLE_TID = 999
+
+
+def llm_trace_events(log: Iterable[Mapping[str, Any]],
+                     pid: int = LLM_PID) -> List[Dict[str, Any]]:
+    """LLM batching timelines (from a batcher's ``trace_log``).
+
+    Decode steps become slices on the engine track (one slice per
+    iteration, named by its batch size); prefills become slices carrying
+    the joining request id; completions and KV-budget rejects land as
+    instants on a lifecycle track. Simulated seconds map to trace
+    microseconds like the serving exporter.
+    """
+    out = [_metadata(pid, 0, "process_name", "llm engine (simulated)"),
+           _metadata(pid, _LLM_STEP_TID, "thread_name", "decode steps"),
+           _metadata(pid, _LLM_LIFECYCLE_TID, "thread_name", "lifecycle")]
+    for entry in log:
+        kind = entry["kind"]
+        if kind == "step":
+            start_us = entry["start_s"] * 1e6
+            out.append({
+                "ph": "X",
+                "name": f"step x{entry['batch']}",
+                "cat": "llm",
+                "pid": pid,
+                "tid": _LLM_STEP_TID,
+                "ts": start_us,
+                "dur": max(entry["finish_s"] * 1e6 - start_us, 0.0),
+                "args": {"batch": entry["batch"],
+                         "rids": list(entry.get("rids", ()))},
+            })
+        elif kind == "prefill":
+            start_us = entry["start_s"] * 1e6
+            out.append({
+                "ph": "X",
+                "name": f"prefill r{entry['rid']}",
+                "cat": "llm",
+                "pid": pid,
+                "tid": _LLM_STEP_TID,
+                "ts": start_us,
+                "dur": max(entry["finish_s"] * 1e6 - start_us, 0.0),
+                "args": {"rid": entry["rid"],
+                         "tokens": entry.get("tokens", 0)},
+            })
+        else:  # complete / reject
+            out.append({
+                "ph": "i",
+                "s": "t",
+                "name": f"{kind} r{entry['rid']}",
+                "cat": "llm",
+                "pid": pid,
+                "tid": _LLM_LIFECYCLE_TID,
+                "ts": entry["t_s"] * 1e6,
+                "args": {"rid": entry["rid"]},
+            })
+    return out
+
+
 def _fault_slice(pid: int, label: str, device: int, start_s: float,
                  end_s: float) -> Dict[str, Any]:
     return {
@@ -279,9 +342,11 @@ def write_trace(path: str, payload: Mapping[str, Any]) -> None:
 
 __all__ = [
     "DEVICE_PID",
+    "LLM_PID",
     "SERVING_PID",
     "chrome_trace",
     "format_counters",
+    "llm_trace_events",
     "serving_trace_events",
     "tile_timeline_events",
     "validate_trace",

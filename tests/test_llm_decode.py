@@ -1,0 +1,161 @@
+"""The decode-step subsystem: KV-cache correctness, verifier, autotune.
+
+The load-bearing properties of ``repro.llm``:
+
+* the detailed machine (:class:`FunctionalRunner`) and the integer
+  reference produce bit-identical logits and caches over a multi-step
+  prefill + decode session;
+* incremental decoding through the KV-cache is bit-exact against a
+  full-context prefill of the same tokens;
+* decode-step programs pass the static verifier clean and are accepted
+  by the autotune searcher;
+* the ``gpt2_rms`` zoo variant compiles and verifies clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_model
+from repro.llm import (
+    LLM_CONFIGS,
+    DecodeSession,
+    available_llm_configs,
+    build_step,
+    decode_step_costs,
+    get_llm_config,
+    step_weights,
+)
+
+
+def test_config_registry():
+    assert available_llm_configs() == sorted(LLM_CONFIGS)
+    with pytest.raises(KeyError):
+        get_llm_config("nope")
+    cfg = get_llm_config("tinyllm")
+    assert cfg.head_dim * cfg.heads == cfg.hidden
+    # K + V, all layers, int32 words.
+    assert cfg.kv_bytes_per_token == 4 * 2 * cfg.layers * cfg.hidden
+
+
+def test_build_step_validates_window():
+    cfg = get_llm_config("tinyllm")
+    with pytest.raises(ValueError):
+        build_step(cfg, cfg.max_context, 1)
+    with pytest.raises(ValueError):
+        build_step(cfg, 0, 0)
+
+
+def test_step_weights_stable_across_shapes():
+    """The same logical weight gets the same values at every
+    (past_len, n_new), which is what makes a session coherent."""
+    cfg = get_llm_config("tinyllm")
+    prefill = step_weights(build_step(cfg, 0, 4))
+    decode = step_weights(build_step(cfg, 4, 1))
+    rope = {n for n in prefill if n.startswith("c_rope")}
+    assert set(prefill) == set(decode)
+    for name in set(prefill) - rope:
+        np.testing.assert_array_equal(prefill[name], decode[name],
+                                      err_msg=name)
+
+
+def test_functional_matches_reference_session():
+    """Detailed machine == integer reference: tokens, logits, caches."""
+    prompt = [10, 74, 42]
+    runs = {}
+    for executor in ("functional", "reference"):
+        session = DecodeSession("tinyllm", executor=executor)
+        session.prefill(prompt)
+        generated = session.decode(3)
+        runs[executor] = (generated, session.last_logits,
+                          session.k_caches, session.v_caches)
+    fun, ref = runs["functional"], runs["reference"]
+    assert fun[0] == ref[0]
+    np.testing.assert_array_equal(fun[1], ref[1])
+    for layer in range(get_llm_config("tinyllm").layers):
+        np.testing.assert_array_equal(fun[2][layer], ref[2][layer])
+        np.testing.assert_array_equal(fun[3][layer], ref[3][layer])
+
+
+def test_incremental_decode_matches_full_prefill():
+    """Cached decoding over [t0..tn] == one prefill of the same tokens.
+
+    Cache columns past ``past + n_new`` are zero and masked by the
+    causal softmax's offset, so the incremental path must reproduce the
+    full-context logits and caches exactly.
+    """
+    cfg = get_llm_config("tinyllm")
+    tokens = [3, 91, 27, 58, 7]
+    incremental = DecodeSession(cfg, executor="reference")
+    incremental.prefill(tokens[:1])
+    for token in tokens[1:]:
+        incremental._run_step([token], "decode")
+    full = DecodeSession(cfg, executor="reference")
+    full.prefill(tokens)
+    np.testing.assert_array_equal(incremental.last_logits[0, -1],
+                                  full.last_logits[0, -1])
+    for layer in range(cfg.layers):
+        np.testing.assert_array_equal(incremental.k_caches[layer],
+                                      full.k_caches[layer])
+        np.testing.assert_array_equal(incremental.v_caches[layer],
+                                      full.v_caches[layer])
+
+
+def test_session_records_and_machine_cycles():
+    session = DecodeSession("tinyllm")
+    session.prefill([1, 2, 3])
+    session.decode(2)
+    phases = [r.phase for r in session.records]
+    assert phases == ["prefill", "decode", "decode"]
+    assert all(r.machine_cycles > 0 for r in session.records)
+    assert all(r.blocks > 0 for r in session.records)
+    assert session.records[0].n_new == 3
+    assert all(r.n_new == 1 for r in session.records[1:])
+    assert session.past_len == 5
+
+
+@pytest.mark.parametrize("past_len,n_new", [(0, 4), (7, 1)],
+                         ids=["prefill", "decode"])
+def test_decode_programs_verify_clean(past_len, n_new):
+    """Static verifier accepts every decode-step program, no warnings."""
+    from repro.analysis.verifier import verify_model
+    cfg = get_llm_config("tinyllm")
+    model = compile_model(build_step(cfg, past_len, n_new).graph,
+                          verify=False)
+    report = verify_model(model)
+    assert report.errors == 0, report.to_json()
+    assert report.warnings == 0, report.to_json()
+    assert report.clean
+
+
+def test_autotune_accepts_decode_step():
+    """The pipeline searcher runs on a decode graph and its winner is
+    verifier-clean and no worse than the default flow."""
+    from repro.compiler import autotune_model
+    from repro.npu import NPUTandem
+    cfg = get_llm_config("tinyllm")
+    graph = build_step(cfg, 4, 1).graph
+    report = autotune_model(graph, NPUTandem().config, budget=4)
+    assert report.best_cycles <= report.baseline_cycles
+    assert any(cand["config"] == report.best_config
+               and cand["status"] == "ok" for cand in report.candidates)
+
+
+def test_gpt2_rms_zoo_variant_verifies_clean():
+    from repro.analysis.verifier import verify_model
+    from repro.models import build_model
+    model = compile_model(build_model("gpt2_rms"), verify=False)
+    report = verify_model(model)
+    assert report.errors == 0, report.to_json()
+    assert report.warnings == 0, report.to_json()
+
+
+def test_decode_step_costs_resolve():
+    costs = decode_step_costs("gpt2_rms")
+    assert costs.prefill_s > 0
+    assert costs.decode_step_s > 0
+    assert costs.prefill_token_s == costs.prefill_s / costs.prefill_tokens
+    # One decode step reads the whole KV window; one prefill token
+    # amortizes the window across many tokens.
+    assert costs.decode_step_s > costs.prefill_token_s
+    assert costs.kv_bytes_per_token == \
+        get_llm_config("gpt2_rms").kv_bytes_per_token
