@@ -30,12 +30,14 @@ from .findings import (
 )
 from .pipeline import (
     PASS_NAMES,
+    deps_mode,
     verify_blob,
     verify_block_dicts,
     verify_model,
     verify_program,
     verify_words,
 )
+from .rules import Rule, all_rules, resolve_ignores, rule_id, rules_table
 from .state import ProgramTrace, interpret
 
 __all__ = [
@@ -43,10 +45,16 @@ __all__ = [
     "ModelVerifyReport",
     "PASS_NAMES",
     "ProgramTrace",
+    "Rule",
     "Severity",
     "VerificationError",
     "VerifyReport",
+    "all_rules",
+    "deps_mode",
     "interpret",
+    "resolve_ignores",
+    "rule_id",
+    "rules_table",
     "snippet_at",
     "verify_blob",
     "verify_block_dicts",

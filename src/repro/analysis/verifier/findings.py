@@ -31,16 +31,23 @@ class Finding:
     """One verifier/lint diagnostic anchored to an instruction."""
 
     severity: Severity
-    rule: str                  # stable kebab-case rule id
+    rule: str                  # stable kebab-case rule name
     message: str
     pc: Optional[int] = None   # instruction index, None for whole-program
     snippet: str = ""          # disassembly of the offending word(s)
+
+    @property
+    def rule_id(self) -> Optional[str]:
+        """Stable short ID (e.g. ``DEP003``) from the rule registry."""
+        from .rules import rule_id
+        return rule_id(self.rule)
 
     def as_dict(self) -> Dict:
         """JSON-able form of one finding."""
         return {
             "severity": str(self.severity),
             "rule": self.rule,
+            "rule_id": self.rule_id,
             "message": self.message,
             "pc": self.pc,
             "snippet": self.snippet,
@@ -49,7 +56,9 @@ class Finding:
     def render(self) -> str:
         """One-line human-readable rendering."""
         where = f"@{self.pc:d}" if self.pc is not None else "@-"
-        line = f"{str(self.severity):5s} {where:>6s} [{self.rule}] {self.message}"
+        ident = self.rule_id
+        tag = f"{ident} {self.rule}" if ident else self.rule
+        line = f"{str(self.severity):5s} {where:>6s} [{tag}] {self.message}"
         if self.snippet:
             line += "\n" + "\n".join(f"        | {s}"
                                      for s in self.snippet.splitlines())
@@ -85,6 +94,17 @@ class VerifyReport:
     def extend(self, findings: Sequence[Finding]) -> None:
         """Append findings to this report."""
         self.findings.extend(findings)
+
+    def suppress(self, rules: Sequence[str]) -> int:
+        """Drop findings whose rule name is in ``rules``; returns count.
+
+        ``rules`` holds kebab-case rule names (resolve IDs first with
+        :func:`repro.analysis.verifier.rules.resolve_ignores`).
+        """
+        drop = set(rules)
+        before = len(self.findings)
+        self.findings = [f for f in self.findings if f.rule not in drop]
+        return before - len(self.findings)
 
     def count(self, severity: Severity) -> int:
         """Findings at exactly this severity."""
@@ -152,6 +172,10 @@ class ModelVerifyReport:
     def findings(self) -> List[Finding]:
         """Every finding across all block reports."""
         return [f for r in self.reports for f in r.findings]
+
+    def suppress(self, rules: Sequence[str]) -> int:
+        """Drop findings by rule name across every block report."""
+        return sum(r.suppress(rules) for r in self.reports)
 
     @property
     def errors(self) -> int:

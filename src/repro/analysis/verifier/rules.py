@@ -1,0 +1,184 @@
+"""The verifier's rule registry: one stable ID per finding kind.
+
+Every :class:`~repro.analysis.verifier.findings.Finding` carries a
+kebab-case rule *name* chosen by the pass that emitted it. This module
+assigns each name a stable short *ID* (``DEC001``, ``LOP004``,
+``DEP003``, ...) so findings can be referenced in CI gates, suppressed
+with ``repro lint --ignore <ID>``, and documented in a single table
+(``repro docs --rules``) without coupling consumers to message text.
+
+IDs are append-only: a rule's number never changes or gets reused, so a
+suppression list written against one release keeps meaning the same
+thing in the next. Families group rules by the pass that owns them:
+
+=======  ==========================================================
+family   pass
+=======  ==========================================================
+``DEC``  decode (word-level encodability)
+``LOP``  loops (Code Repeater protocol)
+``DFL``  dataflow (Iterator Table configuration and bounds)
+``OWN``  ownership (Output BUF handoff protocol)
+``LNT``  lint (style/suspicious-but-legal)
+``DEP``  deps (dependence analysis, translation validation, races)
+=======  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from .findings import Severity
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered finding kind."""
+
+    id: str          # stable short ID, e.g. "DEP001"
+    name: str        # kebab-case rule name findings carry
+    passname: str    # verifier pass that emits it
+    severity: Severity   # default severity the pass assigns
+    summary: str     # one-line description for the rule table
+
+
+_RULES: List[Rule] = [
+    # -- decode ------------------------------------------------------------
+    Rule("DEC001", "unencodable-word", "decode", Severity.ERROR,
+         "Instruction does not pack into a 32-bit word."),
+    Rule("DEC002", "illegal-func", "decode", Severity.ERROR,
+         "Func field is not defined for the instruction's opcode."),
+    Rule("DEC003", "roundtrip-mismatch", "decode", Severity.ERROR,
+         "Packed word does not decode back to the same word."),
+    Rule("DEC004", "illegal-namespace", "decode", Severity.ERROR,
+         "Namespace id is not an assigned scratchpad namespace."),
+    Rule("DEC005", "undecodable-word", "decode", Severity.ERROR,
+         "Raw word in a binary blob does not decode at all."),
+    # -- loops -------------------------------------------------------------
+    Rule("LOP001", "loop-depth", "loops", Severity.ERROR,
+         "More pending loop levels than the Code Repeater supports."),
+    Rule("LOP002", "loop-trip-nonpositive", "loops", Severity.ERROR,
+         "SET_ITER declares a non-positive iteration count."),
+    Rule("LOP003", "loop-body-nonpositive", "loops", Severity.ERROR,
+         "SET_NUM_INST declares a non-positive body size."),
+    Rule("LOP004", "loop-body-overrun", "loops", Severity.ERROR,
+         "Declared body size runs past the end of the program."),
+    Rule("LOP005", "loop-body-noncompute", "loops", Severity.ERROR,
+         "Configuration or sync word inside a collected loop body."),
+    Rule("LOP006", "loop-body-overlap", "loops", Severity.ERROR,
+         "Two Code Repeater activations claim the same words."),
+    Rule("LOP007", "loop-orphan-config", "loops", Severity.WARN,
+         "SET_ITER configuration never followed by a loop body."),
+    # -- dataflow ----------------------------------------------------------
+    Rule("DFL001", "iter-index-capacity", "dataflow", Severity.ERROR,
+         "Iterator index exceeds the Iterator Table capacity."),
+    Rule("DFL002", "iter-unconfigured", "dataflow", Severity.ERROR,
+         "Operand uses an Iterator Table entry never configured."),
+    Rule("DFL003", "oob-access", "dataflow", Severity.ERROR,
+         "Walk's address extent leaves the scratchpad capacity."),
+    Rule("DFL004", "stride-count-mismatch", "dataflow", Severity.WARN,
+         "Configured strides do not cover the nest's loop levels."),
+    # -- ownership ---------------------------------------------------------
+    Rule("OWN001", "obuf-double-release", "ownership", Severity.ERROR,
+         "Output BUF released more than once."),
+    Rule("OWN002", "obuf-release-without-ownership", "ownership",
+         Severity.WARN,
+         "SIMD_END_BUF in a program that never owned the Output BUF."),
+    Rule("OWN003", "obuf-write-race", "ownership", Severity.ERROR,
+         "Write to the Output BUF while the GEMM core owns it."),
+    Rule("OWN004", "obuf-read-before-ownership", "ownership",
+         Severity.ERROR,
+         "Read of the Output BUF before the handoff sync."),
+    Rule("OWN005", "obuf-access-after-release", "ownership",
+         Severity.ERROR,
+         "Output BUF access after SIMD_END_BUF released it."),
+    Rule("OWN006", "obuf-never-released", "ownership", Severity.WARN,
+         "Program owns the Output BUF but never releases it."),
+    # -- lint --------------------------------------------------------------
+    Rule("LNT001", "dead-store", "lint", Severity.INFO,
+         "Scratchpad region written but never read afterwards."),
+    Rule("LNT002", "imm-unconfigured", "lint", Severity.WARN,
+         "IMM BUF slot read without a preceding IMM_VALUE write."),
+    Rule("LNT003", "iter-unused", "lint", Severity.INFO,
+         "Iterator Table entry configured but never used."),
+    Rule("LNT004", "sync-protocol", "lint", Severity.WARN,
+         "Program violates the SIMD_START/END sync protocol."),
+    # -- deps --------------------------------------------------------------
+    Rule("DEP001", "translation-mismatch", "deps", Severity.ERROR,
+         "IR-level access claim disagrees with the lowered binary."),
+    Rule("DEP002", "claim-noninjective", "deps", Severity.ERROR,
+         "Fission forwarding claim fails injectivity re-derivation."),
+    Rule("DEP003", "dram-undef-read", "deps", Severity.ERROR,
+         "DAE load reads DRAM no earlier producer materialized."),
+    Rule("DEP004", "cache-alias-overlap", "deps", Severity.ERROR,
+         "In-place CacheAppend slice races a concurrent access."),
+    Rule("DEP005", "cache-append-oob", "deps", Severity.ERROR,
+         "CacheAppend slice leaves the cache tensor's bounds."),
+    Rule("DEP006", "obuf-tile-overrun", "deps", Severity.ERROR,
+         "OBUF walk reaches past the GEMM tile's handoff footprint."),
+]
+
+BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in _RULES}
+BY_ID: Dict[str, Rule] = {rule.id: rule for rule in _RULES}
+
+assert len(BY_NAME) == len(_RULES), "duplicate rule name"
+assert len(BY_ID) == len(_RULES), "duplicate rule id"
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in family order."""
+    return list(_RULES)
+
+
+def rule_id(name: str) -> Optional[str]:
+    """The stable ID for a rule name (``None`` for unregistered names)."""
+    rule = BY_NAME.get(name)
+    return rule.id if rule is not None else None
+
+
+def normalize_rule(token: str) -> Optional[str]:
+    """Resolve a user-supplied rule reference to its kebab-case name.
+
+    Accepts either the stable ID (``DEP003``, case-insensitive) or the
+    rule name itself; returns ``None`` when the token matches neither.
+    """
+    upper = token.upper()
+    if upper in BY_ID:
+        return BY_ID[upper].name
+    lower = token.lower()
+    if lower in BY_NAME:
+        return lower
+    return None
+
+
+def resolve_ignores(tokens: Iterable[str]) -> List[str]:
+    """Map ignore tokens to rule names, raising on unknown tokens."""
+    names = []
+    for token in tokens:
+        name = normalize_rule(token)
+        if name is None:
+            known = ", ".join(sorted(BY_ID))
+            raise ValueError(
+                f"unknown rule {token!r}; known rule IDs: {known}")
+        names.append(name)
+    return names
+
+
+def rules_table() -> str:
+    """The documented rule table as Markdown (``repro docs --rules``)."""
+    lines = [
+        "# Verifier rule reference",
+        "",
+        "Every verifier finding carries a stable rule ID. Suppress a",
+        "rule with `repro lint --ignore <ID>` (or the kebab-case name);",
+        "IDs are append-only and never reused.",
+        "",
+        "| ID | Rule | Pass | Severity | Meaning |",
+        "|----|------|------|----------|---------|",
+    ]
+    for rule in _RULES:
+        lines.append(
+            f"| {rule.id} | `{rule.name}` | {rule.passname} "
+            f"| {rule.severity.name} | {rule.summary} |")
+    lines.append("")
+    return "\n".join(lines)

@@ -582,6 +582,37 @@ def cmd_docs(args) -> int:
         render_isa_reference,
     )
 
+    if args.rules:
+        from .analysis.verifier import rules_table
+        rendered = rules_table()
+        out = "docs/rules.md"
+        if args.stdout:
+            print(rendered, end="")
+            return 0
+        if args.check:
+            try:
+                with open(out) as handle:
+                    on_disk = handle.read()
+            except FileNotFoundError:
+                print(f"repro docs: {out} does not exist; run "
+                      f"`repro docs --rules` to generate it",
+                      file=sys.stderr)
+                return 1
+            if on_disk != rendered:
+                print(f"repro docs: {out} has drifted from the rule "
+                      f"registry; run `repro docs --rules` to regenerate",
+                      file=sys.stderr)
+                return 1
+            print(f"{out} is up to date")
+            return 0
+        out_dir = os.path.dirname(out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(out, "w") as handle:
+            handle.write(rendered)
+        print(f"wrote {out}")
+        return 0
+
     if args.coverage:
         report = docstring_coverage()
         print(coverage_table(report))
@@ -627,12 +658,14 @@ def cmd_docs(args) -> int:
     return 0
 
 
-def _verify_target(target: str):
+def _verify_target(target: str, deps=None):
     """Verify one CLI target; returns a Model- or program VerifyReport.
 
-    A target is a zoo model name (compiled, every block verified), a
-    JSON file from ``repro compile --dump`` (verified without a graph),
-    or anything else readable as a raw little-endian program blob.
+    A target is a zoo model name (compiled, every block verified), an
+    LLM decode step ``<config>:decode`` (a single-token step after a
+    short prefix, compiled and verified like a model), a JSON file from
+    ``repro compile --dump`` (verified without a graph), or anything
+    else readable as a raw little-endian program blob.
     """
     import os
 
@@ -647,7 +680,14 @@ def _verify_target(target: str):
                               npu.config.gemm,
                               special_functions=npu.special_functions,
                               verify=False)
-        return verify_model(model)
+        return verify_model(model, deps=deps)
+    if target.endswith(":decode"):
+        from .analysis.verifier import verify_model
+        from .llm import build_step, get_llm_config
+        step = build_step(get_llm_config(target[:-len(":decode")]),
+                          past_len=4, n_new=1)
+        model = compile_model(step.graph, verify=False)
+        return verify_model(model, deps=deps)
     if not os.path.exists(target):
         raise FileNotFoundError(
             f"{target!r} is neither a zoo model ({', '.join(available_models())}) "
@@ -659,15 +699,25 @@ def _verify_target(target: str):
         blocks = load_blocks(payload.decode("utf-8"))
     except (UnicodeDecodeError, ValueError, KeyError, TypeError):
         return verify_blob(name, payload)
-    return verify_block_dicts(name, blocks)
+    return verify_block_dicts(name, blocks, deps=deps)
 
 
 def _cmd_verify(args, lint_mode: bool) -> int:
-    from .analysis.verifier import Severity
+    from .analysis.verifier import Severity, resolve_ignores
 
+    try:
+        ignores = resolve_ignores(args.ignore or [])
+    except ValueError as err:
+        print(f"repro verify: {err}", file=sys.stderr)
+        return 2
+    deps = "strict" if args.deps else None
     targets = list(args.targets)
     if args.all:
         targets.extend(m for m in available_models() if m not in targets)
+        if args.deps:
+            from .llm import available_llm_configs
+            targets.extend(f"{cfg}:decode" for cfg in available_llm_configs()
+                           if f"{cfg}:decode" not in targets)
     if not targets:
         print("repro verify: no targets (give model names, files, or --all)",
               file=sys.stderr)
@@ -675,10 +725,13 @@ def _cmd_verify(args, lint_mode: bool) -> int:
     reports = []
     for target in targets:
         try:
-            reports.append(_verify_target(target))
+            report = _verify_target(target, deps=deps)
         except FileNotFoundError as err:
             print(f"repro verify: {err}", file=sys.stderr)
             return 2
+        if ignores:
+            report.suppress(ignores)
+        reports.append(report)
     errors = sum(r.errors for r in reports)
     warnings = sum(r.warnings for r in reports)
     failed = errors > 0 or (args.strict and warnings > 0)
@@ -891,19 +944,31 @@ def build_parser() -> argparse.ArgumentParser:
     docs.add_argument("--fail-under", type=float, default=None,
                       metavar="PCT",
                       help="with --coverage: exit 1 below this percentage")
+    docs.add_argument("--rules", action="store_true",
+                      help="generate the verifier rule reference "
+                           "(docs/rules.md) instead of the ISA")
 
     for cmd_name, help_text in (
             ("verify", "statically verify compiled Tandem programs"),
             ("lint", "verify + show info-tier lint findings")):
         check = sub.add_parser(cmd_name, help=help_text)
         check.add_argument("targets", nargs="*",
-                           help="zoo model, compile --dump JSON, or raw blob")
+                           help="zoo model, compile --dump JSON, raw blob, "
+                                "or <llm-config>:decode")
         check.add_argument("--all", action="store_true",
                            help="verify the entire model zoo")
         check.add_argument("--json", action="store_true",
                            help="machine-readable report on stdout")
         check.add_argument("--strict", action="store_true",
                            help="exit 1 on warnings as well as errors")
+        check.add_argument("--deps", action="store_true",
+                           help="force strict dependence analysis "
+                                "(translation validation + race checks); "
+                                "with --all, also verify LLM decode steps")
+        check.add_argument("--ignore", action="append", default=[],
+                           metavar="RULE",
+                           help="suppress findings by rule ID or name "
+                                "(repeatable; see docs/rules.md)")
     return parser
 
 

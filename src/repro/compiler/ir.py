@@ -175,6 +175,10 @@ class TileContext:
         self._residency: Dict[str, Resident] = {}
         #: Zero-copy renames (Reshape/Flatten of off-chip tensors).
         self.dram_alias: Dict[str, str] = {}
+        # Forwarding assertions recorded by the fission pass:
+        # (producer nest, consumer nest, Walk) triples that translation
+        # validation re-checks against the lowered binary.
+        self.dep_claims: List[Tuple[object, object, object]] = []
         self.peak_words = 0
 
     # -- allocation -------------------------------------------------------------

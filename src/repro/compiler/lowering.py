@@ -69,6 +69,10 @@ class LoweredTile:
     #: Fractional position of the SIMD_END_BUF sync in the instruction
     #: stream (1.0 when the program never releases the Output BUF early).
     obuf_release_fraction: float = 1.0
+    #: IR-level access claims (operand walks, transfer bindings,
+    #: forwarding claims) the verifier's deps pass cross-checks against
+    #: the binary; ``None`` only for hand-built tiles.
+    access_meta: Optional[object] = None
 
 
 def lower_tile(ctx: TileContext, name: str,
@@ -134,6 +138,9 @@ def lower_tile(ctx: TileContext, name: str,
     out.op_metas = op_meta_by_range
     if last_obuf_event is not None:
         out.obuf_release_fraction = release_position / len(program)
+    # Imported lazily: the analysis package pulls the compiler in.
+    from ..analysis.deps.access import collect_access_meta
+    out.access_meta = collect_access_meta(ctx)
     return out
 
 

@@ -235,7 +235,14 @@ class PassPipeline:
             if (isinstance(event, Nest) and len(event.body) > 1
                     and fissionable(event)):
                 applied += 1
-                return fission(event)
+                parts = fission(event)
+                # Record the per-point forwarding walks this split relies
+                # on; translation validation re-derives their injectivity
+                # against the lowered binary. Lazy import: the analysis
+                # package pulls the compiler in.
+                from ..analysis.deps import forwarding_claims
+                state.ctx.dep_claims.extend(forwarding_claims(event, parts))
+                return parts
             return [event]
 
         _rewrite_events(state, rewrite)

@@ -22,7 +22,10 @@ from .lowering import LoweredTile
 
 # Version 2 adds per-block node references (``gemm_node``/``op_nodes``)
 # so a full CompiledModel can be rebuilt against a deterministic graph.
-FORMAT_VERSION = 2
+# Version 3 adds per-tile access metadata (``access_meta``) so the
+# verifier's translation-validation pass can re-check reloaded
+# artifacts, not just fresh compiles.
+FORMAT_VERSION = 3
 
 
 def _json_scalar(value):
@@ -128,12 +131,18 @@ def tile_to_dict(tile: LoweredTile) -> Dict:
         "op_metas": [[label, _meta_to_dict(meta)]
                      for label, meta in tile.op_metas],
         "obuf_release_fraction": tile.obuf_release_fraction,
+        "access_meta": (None if tile.access_meta is None
+                        else tile.access_meta.to_dict()),
     }
 
 
 def tile_from_dict(data: Dict) -> LoweredTile:
+    # Imported lazily: the analysis package pulls the compiler in.
+    from ..analysis.deps.access import TileAccessMeta
+
     program = TandemProgram.unpack(
         data["program_name"], [int(w, 16) for w in data["words"]])
+    meta_dict = data.get("access_meta")
     return LoweredTile(
         program=program,
         meta=_meta_from_dict(data["meta"]),
@@ -143,7 +152,9 @@ def tile_from_dict(data: Dict) -> LoweredTile:
         peak_words=data["peak_words"],
         op_metas=[(label, _meta_from_dict(meta))
                   for label, meta in data["op_metas"]],
-        obuf_release_fraction=data["obuf_release_fraction"])
+        obuf_release_fraction=data["obuf_release_fraction"],
+        access_meta=(None if meta_dict is None
+                     else TileAccessMeta.from_dict(meta_dict)))
 
 
 def dump_model(model) -> str:

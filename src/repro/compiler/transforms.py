@@ -11,104 +11,38 @@ guarantees hazard-freedom. Two classic transforms from the paper:
   consume values earlier instructions produced *at the same iteration
   point* (exactly the discipline the templates follow).
 
-Both operate on the :class:`~repro.compiler.ir.Nest` IR and preserve the
-machine-visible result; a hazard checker validates the required
-independence so transforms fail loudly instead of miscompiling.
+Legality is decided by :mod:`repro.analysis.deps.nest` — the single
+dependence analysis shared with the verifier — so the predicate that
+licenses a transform here is the same one translation validation
+re-checks against the lowered binary. This module only applies the
+rewrites and raises :class:`CompileError` on the first blocker, so
+transforms fail loudly instead of miscompiling.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set, Tuple
+from typing import List, Sequence
 
-from .ir import CompileError, Nest, Stmt, TRef
-
-
-def _writes(stmt: Stmt) -> TRef:
-    return stmt.dst
-
-def _reads(stmt: Stmt) -> List[TRef]:
-    refs = [stmt.src1]
-    if stmt.src2 is not None:
-        refs.append(stmt.src2)
-    return refs
+from .ir import CompileError, Nest
 
 
-def _same_walk(a: TRef, b: TRef, loop_vars: Sequence[str]) -> bool:
-    """True when two refs address the same element at every point."""
-    return (a.ns == b.ns and a.base == b.base
-            and all(a.stride(v) == b.stride(v) for v in loop_vars))
-
-
-def _may_overlap(a: TRef, b: TRef) -> bool:
-    """Conservative aliasing: same namespace means possible overlap,
-    unless both walk identical strides from different bases (disjoint
-    buffers the allocator laid out)."""
-    if a.ns != b.ns:
-        return False
-    return True
-
-
-def _extent(ref: TRef, loops: Sequence[Tuple[str, int]]) -> Tuple[int, int]:
-    """Inclusive [lo, hi] address range ``ref`` touches over the nest.
-
-    Handles scalar refs (empty stride map → a single address) and
-    reversed walks (negative strides reach *below* the base), which is
-    why overlap tests must use extents rather than comparing bases.
-    """
-    lo = hi = ref.base
-    for var, count in loops:
-        reach = ref.stride(var) * (count - 1)
-        lo += min(0, reach)
-        hi += max(0, reach)
-    return lo, hi
-
-
-def _extents_overlap(a: TRef, b: TRef,
-                     loops: Sequence[Tuple[str, int]]) -> bool:
-    """Whether two refs can touch a common address over the nest."""
-    a_lo, a_hi = _extent(a, loops)
-    b_lo, b_hi = _extent(b, loops)
-    return a_lo <= b_hi and b_lo <= a_hi
-
-
-def _injective_walk(ref: TRef, loops: Sequence[Tuple[str, int]]) -> bool:
-    """Whether distinct iteration points address distinct elements.
-
-    Point-wise value forwarding (a later instruction reading what an
-    earlier one wrote *at the same point*) survives fission only when
-    each point's value lands at its own address: instruction-major order
-    replays the producer over all points before any consumer runs, so a
-    non-injective walk (e.g. a stride-0 per-point temp) retains only the
-    last point's value. Sufficient condition: every level with trip
-    count > 1 has a nonzero stride, and sorted by magnitude each stride
-    clears the span of all smaller-stride levels (mixed-radix layout).
-    """
-    levels = [(abs(ref.stride(var)), count)
-              for var, count in loops if count > 1]
-    if any(stride == 0 for stride, _ in levels):
-        return False
-    levels.sort(reverse=True)
-    for i, (stride, _count) in enumerate(levels):
-        span = sum(s * (c - 1) for s, c in levels[i + 1:])
-        if stride <= span:
-            return False
-    return True
+def _deps():
+    # Imported lazily: repro.analysis.__init__ eagerly pulls in the DSE
+    # stack, which imports the compiler — a module-level import here
+    # would be circular.
+    from ..analysis import deps
+    return deps
 
 
 def is_pointwise_parallel(nest: Nest) -> bool:
     """True when every iteration point is independent of every other.
 
-    Sufficient condition used here: each body instruction's destination
-    walks *every* loop level the nest iterates (no stride-0 accumulation
-    into a shared location), so distinct points write distinct elements.
+    Delegates to :func:`repro.analysis.deps.is_pointwise_parallel`:
+    each body instruction's destination walks every loop level the nest
+    iterates (no stride-0 accumulation into a shared location), so
+    distinct points write distinct elements.
     """
-    loop_vars = [v for v, _ in nest.loops]
-    for stmt in nest.body:
-        dst = _writes(stmt)
-        for var, count in nest.loops:
-            if count > 1 and dst.stride(var) == 0:
-                return False
-    return True
+    return _deps().is_pointwise_parallel(nest)
 
 
 def interchange(nest: Nest, order: Sequence[int]) -> Nest:
@@ -121,11 +55,9 @@ def interchange(nest: Nest, order: Sequence[int]) -> Nest:
     the same walk) are order-insensitive for associative ops; we accept
     only the fully parallel case to stay conservative.
     """
-    if sorted(order) != list(range(len(nest.loops))):
-        raise CompileError(f"{list(order)} is not a permutation of nest levels")
-    if not is_pointwise_parallel(nest):
-        raise CompileError(
-            "interchange on a nest with a shared-destination dependence")
+    blockers = _deps().interchange_blockers(nest, order)
+    if blockers:
+        raise CompileError(blockers[0])
     loops = [nest.loops[i] for i in order]
     return Nest(loops=loops, body=list(nest.body), cast_to=nest.cast_to)
 
@@ -133,67 +65,18 @@ def interchange(nest: Nest, order: Sequence[int]) -> Nest:
 def fission(nest: Nest) -> List[Nest]:
     """Split an N-instruction body into N single-instruction nests.
 
-    Legality (checked): instruction-major order equals point-major order
-    when no instruction reads, at point p, a location that a *later*
-    instruction writes at any point — conservatively enforced as: every
-    read of a namespace written by a later instruction must be the same
-    exact walk (read-after-write of the same element is fine because it
-    is then produced by an *earlier* instruction, which fission keeps
-    earlier).
+    Legality (checked): instruction-major order equals point-major
+    order. Per dependence class of the body — a same-walk WAR breaks
+    (the old value survives only within a point), a same-walk RAW
+    forwards legally only through an injective walk, and any pair of
+    distinct walks must have provably disjoint address extents.
     """
-    loop_vars = [v for v, _ in nest.loops]
-    for i, stmt in enumerate(nest.body):
-        for later in nest.body[i + 1:]:
-            dst = _writes(later)
-            for read in _reads(stmt):
-                if not _may_overlap(read, dst):
-                    continue
-                if _same_walk(read, dst, loop_vars):
-                    # stmt reads what `later` will overwrite at the same
-                    # point: point-major order sees the old value only
-                    # within the point, instruction-major sees all-new.
-                    raise CompileError(
-                        "fission would break a write-after-read hazard")
-                # Different walks over the same namespace: require
-                # disjoint address extents to rule out cross-point
-                # hazards (a reversed or scalar walk can alias a region
-                # whose base address looks unrelated).
-                if _extents_overlap(read, dst, nest.loops):
-                    raise CompileError(
-                        "fission cannot prove independence of overlapping "
-                        "walks")
-            # Read-after-write: `later` consuming what `stmt` produced is
-            # point-wise forwarding, legal only through an injective walk
-            # (distinct points, distinct addresses); any other overlap
-            # changes which point's value the consumer observes.
-            produced = _writes(stmt)
-            for read in _reads(later):
-                if not _may_overlap(produced, read):
-                    continue
-                if _same_walk(produced, read, loop_vars):
-                    if not _injective_walk(produced, nest.loops):
-                        raise CompileError(
-                            "fission would collapse per-point forwarding "
-                            "through a non-injective walk")
-                elif _extents_overlap(produced, read, nest.loops):
-                    raise CompileError(
-                        "fission cannot prove independence of overlapping "
-                        "walks")
-            # Write-after-write under different walks: the surviving
-            # value per address depends on interleaving order.
-            if (_may_overlap(produced, dst)
-                    and not _same_walk(produced, dst, loop_vars)
-                    and _extents_overlap(produced, dst, nest.loops)):
-                raise CompileError(
-                    "fission cannot prove independence of overlapping "
-                    "walks")
+    blockers = _deps().fission_blockers(nest)
+    if blockers:
+        raise CompileError(blockers[0])
     return [Nest(loops=list(nest.loops), body=[stmt], cast_to=nest.cast_to)
             for stmt in nest.body]
 
 
 def fissionable(nest: Nest) -> bool:
-    try:
-        fission(nest)
-    except CompileError:
-        return False
-    return True
+    return not _deps().fission_blockers(nest)

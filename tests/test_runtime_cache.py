@@ -24,6 +24,21 @@ from repro.runtime import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _restore_session_cache():
+    """Re-install the suite's isolated cache after every test here.
+
+    Tests in this module swap the process-wide cache singleton; leaving
+    it reset (``set_cache(None)``) would make the next ``get_cache()``
+    lazily build the *default* cache over the working tree's
+    ``.repro_cache``, silently de-hermetizing every test that runs
+    afterwards (and exposing them to stale records from older code).
+    """
+    previous = get_cache()
+    yield
+    set_cache(previous)
+
+
 @pytest.fixture
 def fresh_cache(tmp_path):
     cache = EvalCache(directory=tmp_path / "cache")
