@@ -87,3 +87,49 @@ def test_warm_pipeline_at_least_twice_as_fast(tmp_path):
     assert telemetry_seconds <= 1.05 * warm_seconds + 0.3, (
         f"telemetry added {telemetry_seconds - warm_seconds:.2f}s to a "
         f"warm run ({warm_seconds:.2f}s)")
+
+
+def _run_serve(*extra, monitor_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_MONITOR", None)
+    if monitor_env is not None:
+        env["REPRO_MONITOR"] = monitor_env
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "serve", "--model", "bert",
+         "--devices", "6", "--rate", "120", "--duration", "10", *extra],
+        capture_output=True, env=env, cwd=REPO_ROOT, check=True)
+    return time.perf_counter() - start, proc.stdout
+
+
+def test_monitoring_is_observational_and_cheap(tmp_path):
+    """The serve monitor mirrors the telemetry discipline (ISSUE 9).
+
+    ``REPRO_MONITOR=0`` must make ``--monitor`` a byte-for-byte no-op,
+    and an actively-monitoring warm serve run must stay within 5% of
+    the unmonitored command (same absolute slack as the telemetry gate
+    above, for subprocess start-up noise).
+    """
+    plain_json = tmp_path / "plain.json"
+    off_json = tmp_path / "off.json"
+    # Warm the compile cache once so every timed run below is warm.
+    _run_serve()
+    plain_seconds, plain_stdout = _run_serve("--json", str(plain_json))
+    off_seconds, off_stdout = _run_serve("--monitor", "--json",
+                                         str(off_json), monitor_env="0")
+    monitored_seconds, monitored_stdout = _run_serve("--monitor")
+
+    # Kill switch: byte-identical stdout and report JSON.
+    assert off_stdout.replace(bytes(str(off_json), "utf-8"),
+                              bytes(str(plain_json), "utf-8")) == plain_stdout
+    assert off_json.read_bytes() == plain_json.read_bytes()
+    # Monitoring is additive: the serving table is untouched, the
+    # dashboard only appends after it.
+    table = plain_stdout.split(b"wrote")[0]
+    assert monitored_stdout.startswith(table)
+    assert b"alert" in monitored_stdout
+    assert monitored_seconds <= 1.05 * plain_seconds + 0.3, (
+        f"monitoring added {monitored_seconds - plain_seconds:.2f}s to a "
+        f"{plain_seconds:.2f}s serve run")
+    assert off_seconds <= 1.05 * plain_seconds + 0.3

@@ -51,6 +51,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -399,6 +400,49 @@ def _cmd_serve_llm(args) -> int:
                    if payload["summary"]["continuous_beats_oneshot"]
                    else "continuous batching does NOT beat one-shot")
         print(verdict)
+    from .serving import monitoring_enabled
+    if monitoring_enabled(args.monitor):
+        # Re-run the busiest continuous point with the monitor attached
+        # (monitoring is observational, so the sweep numbers above are
+        # untouched) and render its dashboard.
+        from .serving import (
+            LLMMonitor,
+            MonitorConfig,
+            llm_poisson_requests,
+            validate_monitor_report,
+        )
+        from .telemetry.dashboard import render_dashboard
+        monitored = max((p for p in points if p.scheduler == "continuous"),
+                        default=points[-1], key=lambda p: p.rate_rps)
+        monitor = LLMMonitor(
+            MonitorConfig.from_env(interval_s=args.monitor_interval))
+        requests = llm_poisson_requests(
+            monitored.rate_rps, monitored.duration_s,
+            monitored.prompt_range, monitored.output_range,
+            monitored.stream)
+        batcher = make_llm_batcher(monitored.scheduler, monitored.costs,
+                                   max_slots=monitored.max_slots,
+                                   monitor=monitor)
+        batcher.run(requests, rate_rps=monitored.rate_rps,
+                    duration_s=monitored.duration_s)
+        monitor_payload = monitor.payload(context={
+            "config": args.llm_config,
+            "scheduler": monitored.scheduler,
+            "rate_rps": monitored.rate_rps,
+            "duration_s": monitored.duration_s,
+        })
+        problems = validate_monitor_report(monitor_payload)
+        if problems:  # pragma: no cover - internal invariant
+            print("repro serve: invalid monitor report:\n  "
+                  + "\n  ".join(problems), file=sys.stderr)
+            return 1
+        print(render_dashboard(monitor_payload,
+                               color=sys.stdout.isatty()))
+        if args.monitor_out:
+            with open(args.monitor_out, "w") as handle:
+                json.dump(monitor_payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.monitor_out}")
     if args.trace_out:
         from .telemetry.export import (
             chrome_trace,
@@ -441,12 +485,17 @@ def cmd_serve(args) -> int:
         BatchPolicy,
         ClosedLoop,
         FleetSimulator,
+        MonitorConfig,
         OpenLoopPoisson,
         ResiliencePolicy,
         ServiceCosts,
+        monitoring_enabled,
     )
     models = [m.strip() for m in args.model.split(",") if m.strip()]
     fault_plan = FaultPlan.from_file(args.faults) if args.faults else None
+    monitor_on = monitoring_enabled(args.monitor)
+    monitor_config = (MonitorConfig.from_env(interval_s=args.monitor_interval)
+                      if monitor_on else None)
     # Default policy: respond to injected faults, stay bit-identical to
     # the pre-fault fleet when nothing is being injected.
     resilience_kind = args.resilience or (
@@ -467,6 +516,12 @@ def cmd_serve(args) -> int:
         ("fault plan", fault_plan.name if fault_plan else "(none)"),
         ("resilience", resilience_kind),
     ]
+    if monitor_on:
+        config_rows.append((
+            "monitor",
+            f"interval={monitor_config.interval_s}s "
+            f"window={monitor_config.window_intervals} "
+            f"target={monitor_config.objective.target}"))
     if args.dry_run:
         print(render_table(("parameter", "value"), config_rows,
                            title="serve --dry-run (no simulation)"))
@@ -489,7 +544,8 @@ def cmd_serve(args) -> int:
         slo_multiplier=args.slo_multiplier,
         collect_trace=bool(args.trace_out),
         fault_plan=fault_plan,
-        resilience=resilience)
+        resilience=resilience,
+        monitor_config=monitor_config)
     if args.trace_out:
         from .telemetry import Telemetry, scoped_telemetry
         from .telemetry.export import (
@@ -501,19 +557,60 @@ def cmd_serve(args) -> int:
                                         label="serve")) as tel:
             report = sim.run(workload, rate_rps=rate)
             snapshot = tel.snapshot()
+        device_events = list(serving_trace_events(sim.trace_log))
+        if monitor_on and sim.monitor_payload is not None:
+            from .telemetry.export import monitor_counter_events
+            device_events.extend(monitor_counter_events(sim.monitor_payload))
         payload = chrome_trace(
-            [snapshot], device_events=serving_trace_events(sim.trace_log),
+            [snapshot], device_events=device_events,
             extra_other_data={"models": models, "devices": args.devices})
         write_trace(args.trace_out, payload)
     else:
         report = sim.run(workload, rate_rps=rate)
     print(report.table())
+    if monitor_on and sim.monitor_payload is not None:
+        from .serving import validate_monitor_report
+        from .telemetry.dashboard import render_dashboard
+        monitor_payload = sim.monitor_payload
+        problems = validate_monitor_report(monitor_payload)
+        if problems:  # pragma: no cover - internal invariant
+            print("repro serve: invalid monitor report:\n  "
+                  + "\n  ".join(problems), file=sys.stderr)
+            return 1
+        print(render_dashboard(monitor_payload,
+                               color=sys.stdout.isatty()))
+        if args.monitor_out:
+            with open(args.monitor_out, "w") as handle:
+                json.dump(monitor_payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.monitor_out}")
     if args.trace_out:
         print(f"wrote {args.trace_out}")
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
         print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Replay a saved monitor report as the terminal dashboard."""
+    from .serving import validate_monitor_report
+    from .telemetry.dashboard import render_dashboard
+    try:
+        with open(args.report) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"repro monitor: cannot read {args.report}: {error}",
+              file=sys.stderr)
+        return 2
+    problems = validate_monitor_report(payload)
+    if problems:
+        print(f"repro monitor: invalid report {args.report}:\n  "
+              + "\n  ".join(problems), file=sys.stderr)
+        return 1
+    color = sys.stdout.isatty() and not args.no_color
+    print(render_dashboard(payload, color=color))
     return 0
 
 
@@ -894,6 +991,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "--llm (default: a saturation-anchored ladder)")
     serve.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                        help="worker processes for the --llm sweep")
+    serve.add_argument("--monitor", action="store_true",
+                       help="stream per-interval telemetry + SLO burn-rate "
+                            "alerts (also REPRO_MONITOR=1; =0 force-off)")
+    serve.add_argument("--monitor-out", metavar="FILE",
+                       help="write the repro-monitor-report-v1 JSON")
+    serve.add_argument("--monitor-interval", type=float, default=None,
+                       metavar="S",
+                       help="sampling interval in simulated seconds "
+                            "(default: $REPRO_MONITOR_INTERVAL or 0.1)")
+
+    monitor = sub.add_parser(
+        "monitor", help="replay a saved monitor report as a dashboard")
+    monitor.add_argument("report", metavar="FILE",
+                         help="repro-monitor-report-v1 JSON "
+                              "(from serve --monitor-out)")
+    monitor.add_argument("--no-color", action="store_true",
+                         help="plain ASCII dashboard (no ANSI colors)")
 
     decode = sub.add_parser("decode",
                             help="autoregressive KV-cache decoding")
@@ -982,6 +1096,7 @@ _COMMANDS = {
     "trace": cmd_trace,
     "profile": cmd_profile,
     "cache": cmd_cache,
+    "monitor": cmd_monitor,
     "serve": cmd_serve,
     "decode": cmd_decode,
     "chaos": cmd_chaos,

@@ -847,6 +847,89 @@ def autotune_pipeline() -> Experiment:
               f"candidates across the search: {rejects}")
 
 
+@experiment("monitoring_slo")
+def monitoring_slo() -> Experiment:
+    """Streaming SLO monitoring: crash detection vs a fault-free control.
+
+    No paper counterpart; the "paper" column carries the SRE-workbook
+    expectations for multi-window multi-burn-rate alerting: a seeded
+    device-crash plan must page within a bounded detection latency of
+    the first crash and resolve after the outage ends, a fault-free run
+    of the same fleet must fire zero alerts, and attaching the monitor
+    must not change one byte of the serving report (observational
+    telemetry).
+    """
+    from ..faults import FaultInjector, FaultPlan
+    from ..faults.plan import CrashSpec
+    from ..serving import (
+        BatchPolicy,
+        FleetSimulator,
+        MonitorPoint,
+        OpenLoopPoisson,
+        ResiliencePolicy,
+        ServiceCosts,
+        run_monitor_point,
+    )
+
+    costs = ServiceCosts.resolve(["bert"])
+    plan = FaultPlan(name="mon-crash-a",
+                     crash=CrashSpec(p_per_device_s=0.01, outage_s=6.0))
+    base = dict(costs=costs, models=("bert",), devices=6,
+                rate_rps=120.0, duration_s=20.0)
+    crashed = run_monitor_point(MonitorPoint(fault_plan=plan, **base))
+    control = run_monitor_point(MonitorPoint(**base))
+
+    injector = FaultInjector(plan, devices=6, duration_s=20.0)
+    first_crash_s = injector.crashes[0][0]
+    monitor = crashed["monitor"]
+    pages = [e for e in monitor["alerts"]
+             if e["rule"] == "page-fast-burn" and e["kind"] == "fire"]
+    resolves = [e for e in monitor["alerts"] if e["kind"] == "resolve"]
+    detection_s = (pages[0]["t_s"] - first_crash_s if pages
+                   else float("inf"))
+    # Bound: the miss surfaces one SLO deadline after the crash, then
+    # must climb over the short *and* long page windows.
+    from ..serving import DEFAULT_SLO_MULTIPLIER
+    slo_s = DEFAULT_SLO_MULTIPLIER * costs.latency_s("bert")
+    bound_s = slo_s + 2.0 + 0.5
+    rule_names = {r["name"] for r in monitor["rules"]}
+    summary = {
+        "page_fires_on_seeded_crash": (True, bool(pages)),
+        "detection_latency_within_bound_s": (
+            round(bound_s, 2), round(detection_s, 2)),
+        "all_alerts_resolve_after_recovery": (
+            True, bool(resolves) and not monitor["active_alerts"]),
+        "fault_free_run_fires_zero_alerts": (
+            True, control["monitor"]["alerts"] == []),
+        "monitoring_is_observational (serving report unchanged)": (
+            True, crashed["serving"] == FleetSimulator(
+                costs, devices=6, batch_policy=BatchPolicy(),
+                routing="round_robin", fault_plan=plan,
+                resilience=ResiliencePolicy.naive()).run(
+                    OpenLoopPoisson(("bert",), 120.0, 20.0),
+                    rate_rps=120.0).as_dict()),
+        "burn_rate_rules_evaluated": (2, len(rule_names)),
+    }
+    lines = [f"first crash at {first_crash_s:.2f}s; page fired at "
+             f"{pages[0]['t_s']:.2f}s" if pages else "page never fired"]
+    for event in monitor["alerts"]:
+        lines.append(f"[{event['t_s']:7.2f}s] {event['kind']:7s} "
+                     f"{event['severity']:6s} {event['rule']}")
+    return Experiment(
+        id="monitoring_slo",
+        title="Monitoring: burn-rate paging on crashes, quiet when healthy",
+        summary=summary,
+        table=render_table(
+            ("t_s", "event", "severity", "rule", "burn_long", "burn_short"),
+            [(f"{e['t_s']:.2f}", e["kind"], e["severity"], e["rule"],
+              f"{e['burn_long']:.1f}x", f"{e['burn_short']:.1f}x")
+             for e in monitor["alerts"]],
+            title="alert log (seeded crash plan mon-crash-a)"),
+        notes="; ".join(lines[:1]) + f"; control run: "
+              f"{control['monitor']['slo']['bad']} bad events, "
+              f"{len(control['monitor']['alerts'])} alert events")
+
+
 @experiment("fig26")
 def fig26_area() -> Experiment:
     """Fig. 26: Tandem Processor area breakdown."""

@@ -35,6 +35,17 @@ from .metrics import (
     ServingReport,
     percentile,
 )
+from .monitor import (
+    MONITOR_SCHEMA,
+    FleetMonitor,
+    LLMMonitor,
+    MonitorConfig,
+    MonitorPoint,
+    monitor_table,
+    monitoring_enabled,
+    run_monitor_point,
+    validate_monitor_report,
+)
 from .scheduler import (
     BATCH_POLICIES,
     RESILIENCE_POLICIES,
@@ -79,12 +90,17 @@ __all__ = [
     "ContinuousBatcher",
     "DeviceState",
     "FleetSimulator",
+    "FleetMonitor",
+    "LLMMonitor",
     "LLMRequest",
     "LLMServiceCosts",
     "LLMServingReport",
     "Launch",
+    "MONITOR_SCHEMA",
     "MetricsCollector",
     "ModelCost",
+    "MonitorConfig",
+    "MonitorPoint",
     "OneShotBatcher",
     "OpenLoopPoisson",
     "Request",
@@ -100,15 +116,19 @@ __all__ = [
     "default_max_slots",
     "llm_poisson_requests",
     "make_llm_batcher",
+    "monitor_table",
+    "monitoring_enabled",
     "by_config",
     "default_grid",
     "knee_sharpness",
     "max_throughput_at_slo",
     "percentile",
     "plan_batch",
+    "run_monitor_point",
     "run_point",
     "run_sweep",
     "simulate",
     "sweep_table",
+    "validate_monitor_report",
     "zoo_mix_trace",
 ]

@@ -239,13 +239,18 @@ class ContinuousBatcher:
 
     def __init__(self, costs: LLMServiceCosts,
                  max_slots: Optional[int] = None,
-                 collect_trace: bool = False):
+                 collect_trace: bool = False,
+                 monitor=None):
         self.costs = costs
         self.max_slots = (default_max_slots() if max_slots is None
                           else max_slots)
         if self.max_slots < 1:
             raise ValueError("max_slots must be >= 1")
         self.collect_trace = collect_trace
+        #: Optional :class:`~repro.serving.monitor.LLMMonitor`. Purely
+        #: observational — the hooks never change admission or stepping,
+        #: so the LLMServingReport is identical with or without it.
+        self.monitor = monitor
 
     def run(self, requests: Sequence[LLMRequest],
             rate_rps: float = 0.0,
@@ -253,6 +258,9 @@ class ContinuousBatcher:
         costs = self.costs
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
         collector = _Collector()
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.start(pending, costs.slo_s)
         active: List[_Slot] = []
         kv_reserved = 0
         clock = 0.0
@@ -262,6 +270,8 @@ class ContinuousBatcher:
                 if head >= len(pending):
                     break
                 clock = max(clock, pending[head].arrival_s)
+                if monitor is not None:
+                    monitor.advance(clock)
             # Join at the step boundary, FIFO, budget permitting.
             while (head < len(pending)
                    and pending[head].arrival_s <= clock
@@ -270,6 +280,8 @@ class ContinuousBatcher:
                 if request.kv_footprint > costs.kv_budget_tokens:
                     head += 1
                     collector.rejected += 1
+                    if monitor is not None:
+                        monitor.note_reject(request.rid)
                     if self.collect_trace:
                         collector.trace.append(
                             {"kind": "reject", "rid": request.rid,
@@ -288,6 +300,8 @@ class ContinuousBatcher:
                          "slot": len(active),
                          "tokens": request.prompt_tokens})
                 clock += prefill
+                if monitor is not None:
+                    monitor.advance(clock)
                 active.append(_Slot(request, last_token_s=clock))
             if not active:
                 # Every arrival so far was rejected; take the next one.
@@ -302,19 +316,33 @@ class ContinuousBatcher:
                     {"kind": "step", "start_s": clock,
                      "finish_s": clock + step, "batch": batch,
                      "rids": [s.request.rid for s in active]})
+            if monitor is not None:
+                monitor.note_state(batch, kv_reserved, len(pending) - head)
             clock += step
+            if monitor is not None:
+                monitor.advance(clock)
+                monitor.note_tokens(batch)
             still_active: List[_Slot] = []
             for slot in active:
                 slot.emitted += 1
                 if slot.ttft_s is None:
                     slot.ttft_s = clock - slot.request.arrival_s
+                    if monitor is not None:
+                        monitor.note_ttft(slot.ttft_s)
                 else:
-                    slot.itls_s.append(clock - slot.last_token_s)
+                    itl = clock - slot.last_token_s
+                    slot.itls_s.append(itl)
+                    if monitor is not None:
+                        monitor.note_itl(itl)
                 slot.last_token_s = clock
                 if slot.emitted >= slot.request.output_tokens:
                     kv_reserved -= slot.request.kv_footprint
                     collector.completions.append(_Completion(
                         slot.request, clock, slot.ttft_s, slot.itls_s))
+                    if monitor is not None:
+                        monitor.note_complete(
+                            slot.request.rid, clock,
+                            (clock - slot.request.arrival_s) * 1e3)
                     if self.collect_trace:
                         collector.trace.append(
                             {"kind": "complete", "rid": slot.request.rid,
@@ -322,6 +350,9 @@ class ContinuousBatcher:
                 else:
                     still_active.append(slot)
             active = still_active
+        if monitor is not None:
+            monitor.note_state(0, kv_reserved, 0)
+            monitor.finish(max(clock, duration_s))
         self.trace_log = collector.trace
         return collector.report(costs, "continuous", self.max_slots,
                                 rate_rps, duration_s)
@@ -341,7 +372,8 @@ class OneShotBatcher:
     def __init__(self, costs: LLMServiceCosts,
                  max_slots: Optional[int] = None,
                  max_wait_s: float = 2e-3,
-                 collect_trace: bool = False):
+                 collect_trace: bool = False,
+                 monitor=None):
         self.costs = costs
         self.max_slots = (default_max_slots() if max_slots is None
                           else max_slots)
@@ -349,6 +381,7 @@ class OneShotBatcher:
             raise ValueError("max_slots must be >= 1")
         self.max_wait_s = max_wait_s
         self.collect_trace = collect_trace
+        self.monitor = monitor
 
     def run(self, requests: Sequence[LLMRequest],
             rate_rps: float = 0.0,
@@ -356,6 +389,9 @@ class OneShotBatcher:
         costs = self.costs
         pending = sorted(requests, key=lambda r: (r.arrival_s, r.rid))
         collector = _Collector()
+        monitor = self.monitor
+        if monitor is not None:
+            monitor.start(pending, costs.slo_s)
         clock = 0.0
         head = 0
         while head < len(pending):
@@ -363,6 +399,9 @@ class OneShotBatcher:
             if request.kv_footprint > costs.kv_budget_tokens:
                 head += 1
                 collector.rejected += 1
+                if monitor is not None:
+                    monitor.advance(max(clock, request.arrival_s))
+                    monitor.note_reject(request.rid)
                 if self.collect_trace:
                     collector.trace.append(
                         {"kind": "reject", "rid": request.rid,
@@ -382,6 +421,9 @@ class OneShotBatcher:
                 if cand.kv_footprint > costs.kv_budget_tokens:
                     scan += 1
                     collector.rejected += 1
+                    if monitor is not None:
+                        monitor.advance(start)
+                        monitor.note_reject(cand.rid)
                     if self.collect_trace:
                         collector.trace.append(
                             {"kind": "reject", "rid": cand.rid,
@@ -405,6 +447,11 @@ class OneShotBatcher:
             prefill = costs.prefill_s(max_prompt, batch)
             step = costs.batched_s(costs.decode_step_s, batch)
             finish = start + prefill + max_output * step
+            if monitor is not None:
+                monitor.advance(start)
+                monitor.note_state(batch,
+                                   batch * (max_prompt + max_output),
+                                   len(pending) - head)
             if self.collect_trace:
                 collector.trace.append(
                     {"kind": "prefill", "rid": members[0].rid,
@@ -414,16 +461,28 @@ class OneShotBatcher:
                     {"kind": "step", "start_s": start + prefill,
                      "finish_s": finish, "batch": batch,
                      "rids": [m.rid for m in members]})
+            if monitor is not None:
+                monitor.advance(finish)
+                monitor.note_tokens(sum(m.output_tokens for m in members))
             for member in members:
                 first = start + prefill + step
                 itls = [step] * (member.output_tokens - 1)
                 collector.completions.append(_Completion(
                     member, finish, first - member.arrival_s, itls))
+                if monitor is not None:
+                    monitor.note_ttft(first - member.arrival_s)
+                    for itl in itls:
+                        monitor.note_itl(itl)
+                    monitor.note_complete(member.rid, finish,
+                                          (finish - member.arrival_s) * 1e3)
                 if self.collect_trace:
                     collector.trace.append(
                         {"kind": "complete", "rid": member.rid,
                          "t_s": finish})
             clock = finish
+        if monitor is not None:
+            monitor.note_state(0, 0, 0)
+            monitor.finish(max(clock, duration_s))
         self.trace_log = collector.trace
         return collector.report(costs, "oneshot", self.max_slots,
                                 rate_rps, duration_s)
@@ -435,12 +494,15 @@ LLM_SCHEDULERS = ("oneshot", "continuous")
 
 def make_llm_batcher(kind: str, costs: LLMServiceCosts,
                      max_slots: Optional[int] = None,
-                     collect_trace: bool = False):
+                     collect_trace: bool = False,
+                     monitor=None):
     if kind == "continuous":
         return ContinuousBatcher(costs, max_slots=max_slots,
-                                 collect_trace=collect_trace)
+                                 collect_trace=collect_trace,
+                                 monitor=monitor)
     if kind == "oneshot":
         return OneShotBatcher(costs, max_slots=max_slots,
-                              collect_trace=collect_trace)
+                              collect_trace=collect_trace,
+                              monitor=monitor)
     raise ValueError(f"unknown LLM scheduler {kind!r}; "
                      f"known: {', '.join(LLM_SCHEDULERS)}")

@@ -140,7 +140,8 @@ class FleetSimulator:
                  require_verified: bool = True,
                  collect_trace: bool = False,
                  fault_plan=None,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 monitor_config=None):
         if devices < 1:
             raise ValueError("devices must be >= 1")
         if routing not in ROUTING_POLICIES:
@@ -169,6 +170,16 @@ class FleetSimulator:
         #: fault-free behaviour is bit-identical to earlier versions).
         self.fault_plan = fault_plan
         self.resilience = resilience or ResiliencePolicy.naive()
+        #: Streaming monitoring (:mod:`repro.serving.monitor`): when a
+        #: :class:`~repro.serving.monitor.MonitorConfig` is given, the
+        #: run feeds a :class:`~repro.serving.monitor.FleetMonitor` and
+        #: leaves its ``repro-monitor-report-v1`` payload on
+        #: ``self.monitor_payload``. Strictly observational — the hooks
+        #: never influence scheduling, so the ServingReport is
+        #: byte-identical with monitoring on or off.
+        self.monitor_config = monitor_config
+        self.monitor = None
+        self.monitor_payload = None
 
     # -- event plumbing ----------------------------------------------------
     def _push(self, when_s: float, kind: int, payload) -> None:
@@ -186,6 +197,14 @@ class FleetSimulator:
         self.trace_log = []
         collector = MetricsCollector(self.costs, self.slo_multiplier,
                                      self.min_slo_s)
+        monitor = None
+        if self.monitor_config is not None:
+            from .monitor import FleetMonitor
+            monitor = FleetMonitor(self.monitor_config, collector.slo_s,
+                                   self.devices)
+        self.monitor = monitor
+        self.monitor_payload = None
+        self._monitor = monitor
         self._events: List[Tuple] = []
         self._seq = 0
         # -- per-request lifecycle state ----------------------------------
@@ -227,6 +246,11 @@ class FleetSimulator:
 
         while self._events:
             now_s, _, kind, payload = heapq.heappop(self._events)
+            if monitor is not None:
+                # Close interval boundaries BEFORE applying the event,
+                # so each boundary samples the state as simulated time
+                # actually passed it.
+                monitor.advance(now_s)
             if kind == _ARRIVAL:
                 self._on_arrival(fleet, router, collector, workload,
                                  payload, now_s)
@@ -249,6 +273,21 @@ class FleetSimulator:
         for rid, status in sorted(self._status.items()):
             if status in ("queued", "flight"):
                 collector.note_failed(self._request[rid])
+
+        if monitor is not None:
+            monitor.finish(max(collector.last_finish_s,
+                               workload.duration_s))
+            self.monitor_payload = monitor.payload(context={
+                "models": list(self.costs.models()),
+                "devices": self.devices,
+                "routing": self.routing,
+                "batch_policy": self.policy.kind,
+                "resilience": self.resilience.kind,
+                "fault_plan": (self.fault_plan.name
+                               if self.fault_plan is not None else None),
+                "rate_rps": rate_rps,
+                "duration_s": workload.duration_s,
+            })
 
         tel = get_telemetry()
         if tel.enabled:
@@ -307,15 +346,20 @@ class FleetSimulator:
     def _on_arrival(self, fleet, router, collector, workload,
                     request: Request, now_s: float) -> None:
         rid = request.rid
+        mon = self._monitor
         first_attempt = rid not in self._born
         if first_attempt:
             self._born[rid] = now_s
             self._request[rid] = request
             collector.note_arrival(sum(len(d.queue) for d in fleet))
+            if mon is not None:
+                mon.note_arrival(rid, request.model, now_s)
         if self.require_verified and not self.costs.is_verified(request.model):
             collector.note_verify_reject(request, now_s)
             self._status[rid] = "rejected"
             self._trace("verify-reject", now_s, model=request.model)
+            if mon is not None:
+                mon.note_reject(rid, now_s)
             self._follow_up(workload, request, now_s)
             return
         index = router.route(fleet, request, now_s)
@@ -325,6 +369,8 @@ class FleetSimulator:
             collector.note_reject(request, now_s)
             self._status[rid] = "rejected"
             self._trace("shed", now_s, model=request.model)
+            if mon is not None:
+                mon.note_reject(rid, now_s)
             self._follow_up(workload, request, now_s)
             return
         device = fleet[index]
@@ -332,12 +378,16 @@ class FleetSimulator:
             collector.note_reject(request, now_s)
             self._status[rid] = "rejected"
             self._trace("queue-reject", now_s, model=request.model)
+            if mon is not None:
+                mon.note_reject(rid, now_s)
             self._follow_up(workload, request, now_s)
             return
         self._status[rid] = "queued"
         self._loc[rid] = index
         self._request[rid] = request
         device.queue.append(request)
+        if mon is not None:
+            mon.note_queue(+1)
         if self.resilience.active:
             self._push(now_s + self._timeout_s(request.model), _TIMEOUT,
                        (rid, self._attempts.get(rid, 0)))
@@ -396,7 +446,8 @@ class FleetSimulator:
         if not device.healthy or device.busy_until_s > now_s or \
                 not device.queue:
             return
-        decision = plan_batch(device.queue, now_s, self.policy)
+        decision = plan_batch(device.queue, now_s, self.policy,
+                              monitor=self._monitor)
         if isinstance(decision, Wait):
             if device.timer_at_s is None or \
                     device.timer_at_s > decision.until_s:
@@ -407,6 +458,8 @@ class FleetSimulator:
             return
         batch = device.queue[:decision.count]
         del device.queue[:decision.count]
+        if self._monitor is not None:
+            self._monitor.note_queue(-len(batch))
         model = batch[0].model
         device.launches += 1
         slow = (self._injector.slow_factor(index, now_s)
@@ -449,6 +502,8 @@ class FleetSimulator:
         device.busy_until_s = finish_s
         device.busy_s += service_s
         collector.note_batch(len(batch))
+        if self._monitor is not None:
+            self._monitor.note_launch(index, now_s, finish_s, len(batch))
         self._trace("batch", now_s, device=index, model=model,
                     batch=len(batch), start_s=now_s, finish_s=finish_s,
                     compile=first_touch)
@@ -466,13 +521,17 @@ class FleetSimulator:
         bad = batch[0].model in device.bad_models
         device.failures = 0
         device.ejects = 0
+        mon = self._monitor
         for request in batch:
             if self._status.get(request.rid) != "flight":
                 continue
             self._status[request.rid] = "done"
-            collector.note_complete(request, now_s,
-                                    born_s=self._born.get(request.rid),
-                                    bad=bad)
+            born_s = self._born.get(request.rid)
+            collector.note_complete(request, now_s, born_s=born_s, bad=bad)
+            if mon is not None:
+                start_s = request.arrival_s if born_s is None else born_s
+                mon.note_complete(request.rid, now_s,
+                                  (now_s - start_s) * 1e3, bad=bad)
             self._follow_up(workload, request, now_s)
         self._dispatch(fleet, collector, index, now_s)
 
@@ -482,6 +541,8 @@ class FleetSimulator:
             return   # overlapping crash on an already-dead device
         collector.note_fault("device_crash")
         self._trace("crash", now_s, device=index)
+        if self._monitor is not None:
+            self._monitor.note_crash(index, now_s)
         device.healthy = False
         device.epoch += 1
         if device.busy_until_s > now_s:
@@ -499,6 +560,8 @@ class FleetSimulator:
             return
         device.healthy = True
         self._trace("recover", now_s, device=index)
+        if self._monitor is not None:
+            self._monitor.note_recover(index)
         self._dispatch(fleet, collector, index, now_s)
 
     def _on_timeout(self, fleet, router, collector, payload,
@@ -515,6 +578,8 @@ class FleetSimulator:
         collector.timeouts += 1
         self._trace("timeout", now_s, device=index, model=request.model,
                     rid=rid)
+        if self._monitor is not None:
+            self._monitor.note_timeout()
         self._note_failure(fleet, collector, index, now_s)
         if status == "flight" and device.healthy:
             # Still executing on a live device: it will finish — retrying
@@ -522,7 +587,10 @@ class FleetSimulator:
             # feeds the health tracker (latency breach).
             return
         if status == "queued":
+            before = len(device.queue)
             device.queue = [r for r in device.queue if r.rid != rid]
+            if self._monitor is not None:
+                self._monitor.note_queue(len(device.queue) - before)
         policy = self.resilience
         budget = int(policy.retry_budget_fraction * collector.offered)
         self._attempts[rid] = attempt + 1
@@ -534,6 +602,8 @@ class FleetSimulator:
             return
         self._retries_used += 1
         collector.retries += 1
+        if self._monitor is not None:
+            self._monitor.note_retry()
         backoff_s = policy.backoff_base_s * (2 ** attempt)
         retry = replace(request, arrival_s=now_s + backoff_s)
         self._status[rid] = "retrying"
@@ -554,6 +624,8 @@ class FleetSimulator:
             device.admitted = False
             device.ejects += 1
             collector.devices_ejected += 1
+            if self._monitor is not None:
+                self._monitor.note_eject(index)
             cooldown_s = policy.cooldown_s * (
                 policy.cooldown_growth ** (device.ejects - 1))
             self._trace("eject", now_s, device=index,
@@ -569,6 +641,8 @@ class FleetSimulator:
         device.failures = 0
         collector.devices_readmitted += 1
         self._trace("readmit", now_s, device=index)
+        if self._monitor is not None:
+            self._monitor.note_readmit(index)
 
 
 def simulate(workload: Workload, costs: ServiceCosts, *, devices: int = 1,

@@ -20,21 +20,15 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+# The exact nearest-rank estimator lives in telemetry.timeseries so the
+# end-of-run report and the streaming monitor histograms share ONE rank
+# rule; re-exported here because this module is its historical home.
+from ..telemetry.timeseries import percentile
 from .scheduler import ServiceCosts
 from .workload import Request
 
 DEFAULT_SLO_MULTIPLIER = 10.0
 DEFAULT_MIN_SLO_S = 1e-3
-
-
-def percentile(sorted_values: List[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted list (0 if empty)."""
-    if not sorted_values:
-        return 0.0
-    count = len(sorted_values)
-    rank = -(-q * count // 100)  # ceil(q/100 * count)
-    rank = min(count, max(1, int(rank)))
-    return sorted_values[rank - 1]
 
 
 @dataclass
@@ -102,6 +96,14 @@ class ServingReport:
     def table(self) -> str:
         from ..harness.report import render_table
         slo = ", ".join(f"{m} {ms:.2f}ms" for m, ms in self.slo_ms.items())
+
+        def latency(value_ms: float):
+            # percentile() returns 0.0 on an empty list; with zero
+            # completions that is "no data", not a zero-millisecond
+            # tail — render n/a so monitoring comparisons can't confuse
+            # an idle fleet with an infinitely fast one.
+            return value_ms if self.completed else "n/a"
+
         rows = [
             ("models", "+".join(self.models)),
             ("devices", self.devices),
@@ -122,10 +124,10 @@ class ServingReport:
              f"{self.devices_ejected} / {self.devices_readmitted}"),
             ("throughput (req/s)", self.throughput_rps),
             ("goodput (req/s)", self.goodput_rps),
-            ("mean latency (ms)", self.mean_latency_ms),
-            ("p50 latency (ms)", self.p50_ms),
-            ("p95 latency (ms)", self.p95_ms),
-            ("p99 latency (ms)", self.p99_ms),
+            ("mean latency (ms)", latency(self.mean_latency_ms)),
+            ("p50 latency (ms)", latency(self.p50_ms)),
+            ("p95 latency (ms)", latency(self.p95_ms)),
+            ("p99 latency (ms)", latency(self.p99_ms)),
             ("mean/max queue depth", f"{self.mean_queue_depth:.2f} / "
                                      f"{self.max_queue_depth}"),
             ("mean batch size", self.mean_batch_size),

@@ -128,12 +128,18 @@ class Wait:
 
 
 def plan_batch(queue: Sequence[Request], now_s: float,
-               policy: BatchPolicy) -> Optional[object]:
+               policy: BatchPolicy, monitor=None) -> Optional[object]:
     """Decide what an idle device should do with its queue at ``now_s``.
 
     Returns :class:`Launch`, :class:`Wait`, or ``None`` for an empty
     queue. Batches are same-model FIFO prefixes — requests for a second
     model never jump ahead of the head request.
+
+    ``monitor`` is an optional :class:`~repro.serving.monitor.FleetMonitor`;
+    when present, every Launch records *which trigger* fired it
+    (``full`` batch, ``single``/``greedy`` policy, or the ``deadline``
+    of a dynamic hold) — the decision itself is unaffected, so
+    monitored and unmonitored fleets batch identically.
     """
     if not queue:
         return None
@@ -145,9 +151,14 @@ def plan_batch(queue: Sequence[Request], now_s: float,
             break
         count += 1
     if count >= limit or policy.kind in ("single", "greedy"):
+        if monitor is not None:
+            monitor.note_launch_reason("full" if count >= limit
+                                       else policy.kind)
         return Launch(count)
     deadline = head.arrival_s + policy.max_wait_ms * 1e-3
     if now_s >= deadline:
+        if monitor is not None:
+            monitor.note_launch_reason("deadline")
         return Launch(count)
     return Wait(deadline)
 

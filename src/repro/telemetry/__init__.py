@@ -32,8 +32,25 @@ import os
 from contextlib import contextmanager, nullcontext
 from typing import Any, Dict, Optional
 
+from .alerts import AlertEngine, AlertEvent
 from .counters import CounterRegistry
+from .slo import (
+    BurnRateRule,
+    SLOObjective,
+    budget_burn,
+    default_objective,
+    default_rules,
+)
 from .spans import SpanRecord, Tracer, span_tree
+from .timeseries import (
+    GaugeSampler,
+    RateSampler,
+    SlidingWindowHistogram,
+    StreamingHistogram,
+    TimeSeries,
+    nearest_rank,
+    percentile,
+)
 
 #: Shared no-op context manager handed out by disabled sessions.
 #: ``nullcontext`` keeps no per-enter state, so one instance is safe to
@@ -136,11 +153,25 @@ def scoped_telemetry(session: Optional[Telemetry] = None):
 
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvent",
+    "BurnRateRule",
     "CounterRegistry",
+    "GaugeSampler",
+    "RateSampler",
+    "SLOObjective",
+    "SlidingWindowHistogram",
     "SpanRecord",
+    "StreamingHistogram",
     "Telemetry",
+    "TimeSeries",
     "Tracer",
+    "budget_burn",
+    "default_objective",
+    "default_rules",
     "get_telemetry",
+    "nearest_rank",
+    "percentile",
     "scoped_telemetry",
     "set_telemetry",
     "span_tree",

@@ -1,0 +1,154 @@
+"""ANSI terminal dashboard for monitor reports: sparklines + alert log.
+
+Renders a ``repro-monitor-report-v1`` payload (live at the end of
+``repro serve --monitor``, or replayed from disk by
+``repro monitor <report>``) as a compact fixed-width dashboard:
+
+* a header with the SLO objective, budget burned, and alert totals;
+* one sparkline row per time series (gaps — ``·`` — where an interval
+  had no data, so an empty latency window never reads as 0 ms);
+* a chronological alert log with fire/resolve markers;
+* the rules still firing when the run ended.
+
+Colour is plain ANSI (red pages, yellow tickets, green resolves) and
+is disabled with ``color=False`` (``--no-color``, or automatically
+when stdout is not a TTY) so CI logs and golden outputs stay byte
+stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_dashboard", "sparkline"]
+
+#: Eight-level Unicode bars, lowest to highest.
+_SPARK = "▁▂▃▄▅▆▇█"
+#: Placeholder for a no-data interval.
+_GAP = "·"
+
+_RESET = "\x1b[0m"
+_COLORS = {
+    "page": "\x1b[31m",      # red
+    "ticket": "\x1b[33m",    # yellow
+    "resolve": "\x1b[32m",   # green
+    "dim": "\x1b[2m",
+    "bold": "\x1b[1m",
+}
+
+
+def _paint(text: str, style: str, color: bool) -> str:
+    if not color:
+        return text
+    return f"{_COLORS[style]}{text}{_RESET}"
+
+
+def sparkline(samples: Sequence[Optional[float]], width: int = 48) -> str:
+    """Downsample a series into a ``width``-character sparkline.
+
+    Each output cell covers a contiguous run of samples and shows the
+    run's **maximum** (alerting cares about peaks, not means); a cell
+    whose run is entirely ``None`` renders as a gap.  Scaling is
+    min..max over the present samples, so a flat series renders as a
+    flat low bar rather than dividing by zero.
+    """
+    if not samples:
+        return _GAP * width
+    width = max(1, min(width, len(samples)))
+    cells: List[Optional[float]] = []
+    for i in range(width):
+        lo = i * len(samples) // width
+        hi = max(lo + 1, (i + 1) * len(samples) // width)
+        run = [s for s in samples[lo:hi] if s is not None]
+        cells.append(max(run) if run else None)
+    present = [c for c in cells if c is not None]
+    if not present:
+        return _GAP * width
+    lo_v, hi_v = min(present), max(present)
+    span = hi_v - lo_v
+    out = []
+    for cell in cells:
+        if cell is None:
+            out.append(_GAP)
+        elif span <= 0.0:
+            out.append(_SPARK[0])
+        else:
+            level = int((cell - lo_v) / span * (len(_SPARK) - 1))
+            out.append(_SPARK[level])
+    return "".join(out)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def _series_rows(series: Dict[str, dict], width: int,
+                 color: bool) -> List[str]:
+    rows = []
+    name_w = max((len(n) for n in series), default=0)
+    for name in series:
+        column = series[name]
+        samples = column["samples"]
+        spark = sparkline(samples, width)
+        present = [s for s in samples if s is not None]
+        last = samples[-1] if samples else None
+        stats = (f"last {_fmt(last):>8}  max "
+                 f"{_fmt(max(present) if present else None):>8}")
+        unit = column.get("unit", "")
+        rows.append(f"  {name:<{name_w}}  {spark}  "
+                    f"{_paint(stats, 'dim', color)}  {unit}")
+    return rows
+
+
+def render_dashboard(payload: dict, color: bool = True,
+                     width: int = 48) -> str:
+    """Render a monitor report payload as a terminal dashboard string."""
+    slo = payload.get("slo", {})
+    lines: List[str] = []
+    title = (f"monitor · {payload.get('kind', '?')} · "
+             f"{payload.get('intervals', 0)} x "
+             f"{payload.get('interval_s', 0)}s intervals · "
+             f"seed {payload.get('seed', '?')}")
+    lines.append(_paint(title, "bold", color))
+    if slo:
+        burned = slo.get("budget_burned", 0.0)
+        lines.append(
+            f"  SLO {slo.get('name', '?')} target {slo.get('target', 0):g}"
+            f" · good {slo.get('good', 0)} bad {slo.get('bad', 0)}"
+            f" · budget burned {burned:.2f}x")
+    counts = payload.get("counts", {})
+    if counts:
+        summary = "  alerts: " + "  ".join(
+            f"{key}={counts[key]}" for key in sorted(counts))
+        lines.append(summary)
+    lines.append("")
+    lines.extend(_series_rows(payload.get("series", {}), width, color))
+    alerts = payload.get("alerts", [])
+    if alerts:
+        lines.append("")
+        lines.append(_paint("alert log", "bold", color))
+        for event in alerts:
+            style = ("resolve" if event["kind"] == "resolve"
+                     else event["severity"])
+            marker = "FIRE   " if event["kind"] == "fire" else "RESOLVE"
+            line = (f"  [{event['t_s']:8.2f}s] {marker} "
+                    f"{event['severity']:<6} {event['rule']:<18} "
+                    f"burn long {event['burn_long']:8.1f}x "
+                    f"short {event['burn_short']:8.1f}x")
+            lines.append(_paint(line, style, color))
+    active = payload.get("active_alerts", [])
+    lines.append("")
+    if active:
+        lines.append(_paint(f"  STILL FIRING: {', '.join(active)}",
+                            "page", color))
+    else:
+        lines.append(_paint("  no active alerts", "dim", color))
+    return "\n".join(lines)

@@ -277,6 +277,57 @@ def _fault_slice(pid: int, label: str, device: int, start_s: float,
     }
 
 
+#: pid block for the streaming monitor's counter tracks.
+MONITOR_PID = 4000
+
+
+def monitor_counter_events(payload: Mapping[str, Any],
+                           pid: int = MONITOR_PID) -> List[Dict[str, Any]]:
+    """Counter tracks (``ph: "C"``) from a ``repro-monitor-report-v1``.
+
+    Every monitor time series becomes one Perfetto counter track in
+    simulated microseconds — one counter sample per interval boundary
+    — so the live queue depth, burn rates, and windowed tail latencies
+    render *alongside* the batch/fault span tracks the serving exporter
+    already emits.  ``None`` samples (no data) are skipped rather than
+    emitted as zero, leaving honest gaps in the track.  Alert fire and
+    resolve transitions ride along as instant events on an ``alerts``
+    track.
+    """
+    out: List[Dict[str, Any]] = [
+        _metadata(pid, 0, "process_name",
+                  f"monitor ({payload.get('kind', '?')}, simulated)"),
+    ]
+    interval_s = payload.get("interval_s", 0.0)
+    for name, column in payload.get("series", {}).items():
+        for index, sample in enumerate(column.get("samples", [])):
+            if sample is None:
+                continue
+            out.append({
+                "ph": "C",
+                "name": name,
+                "cat": "monitor",
+                "pid": pid,
+                "tid": 0,
+                "ts": (index + 1) * interval_s * 1e6,
+                "args": {"value": sample},
+            })
+    for event in payload.get("alerts", []):
+        out.append({
+            "ph": "i",
+            "s": "p",
+            "name": f"{event['kind']}:{event['rule']}",
+            "cat": "alerts",
+            "pid": pid,
+            "tid": 1,
+            "ts": event["t_s"] * 1e6,
+            "args": {"severity": event["severity"],
+                     "burn_long": event["burn_long"],
+                     "burn_short": event["burn_short"]},
+        })
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Validation + IO
 # ---------------------------------------------------------------------------
@@ -343,10 +394,12 @@ def write_trace(path: str, payload: Mapping[str, Any]) -> None:
 __all__ = [
     "DEVICE_PID",
     "LLM_PID",
+    "MONITOR_PID",
     "SERVING_PID",
     "chrome_trace",
     "format_counters",
     "llm_trace_events",
+    "monitor_counter_events",
     "serving_trace_events",
     "tile_timeline_events",
     "validate_trace",
