@@ -489,10 +489,19 @@ def cmd_serve(args) -> int:
         OpenLoopPoisson,
         ResiliencePolicy,
         ServiceCosts,
+        autoscaling_enabled,
         monitoring_enabled,
     )
     models = [m.strip() for m in args.model.split(",") if m.strip()]
     fault_plan = FaultPlan.from_file(args.faults) if args.faults else None
+    autoscale_on = autoscaling_enabled(args.autoscale)
+    scale_on = args.scale or autoscale_on or args.cells is not None
+    if scale_on:
+        return _cmd_serve_scale(args, models, fault_plan, autoscale_on)
+    if args.trace or args.diurnal or args.save_trace:
+        print("repro serve: --trace/--diurnal/--save-trace need the "
+              "scaled core; add --scale", file=sys.stderr)
+        return 2
     monitor_on = monitoring_enabled(args.monitor)
     monitor_config = (MonitorConfig.from_env(interval_s=args.monitor_interval)
                       if monitor_on else None)
@@ -586,6 +595,115 @@ def cmd_serve(args) -> int:
             print(f"wrote {args.monitor_out}")
     if args.trace_out:
         print(f"wrote {args.trace_out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_serve_scale(args, models, fault_plan, autoscale_on) -> int:
+    """The ``--scale`` path: interned-record core, cells, autoscaling."""
+    from .serving import (
+        AdmissionPolicy,
+        AutoscaleConfig,
+        BatchPolicy,
+        ClosedLoop,
+        DiurnalTrace,
+        OpenLoopPoisson,
+        ScaledFleetSimulator,
+        ServiceCosts,
+        load_trace,
+        save_trace,
+        scale_table,
+        validate_fleet_scale_report,
+    )
+    if fault_plan is not None or args.resilience == "resilient":
+        print("repro serve: --scale is the fault-free fast path; drop "
+              "--faults/--resilience (chaos runs use the legacy core)",
+              file=sys.stderr)
+        return 2
+    if args.monitor or args.trace_out:
+        print("repro serve: --scale does not support --monitor/"
+              "--trace-out; the scale report has its own timeline "
+              "(--scale-out FILE)", file=sys.stderr)
+        return 2
+    cells = args.cells
+    if cells is None:
+        # Autoscaling needs multiple cells to act on; default to ~25
+        # devices per cell, the sweet spot for the in-cell route scan.
+        cells = max(2, args.devices // 25) if autoscale_on else 1
+    config = None
+    if autoscale_on:
+        config = AutoscaleConfig.from_env()
+    if args.trace:
+        # A replayed trace names its own model mix; --model is ignored.
+        workload = load_trace(args.trace)
+        models = sorted({r.model for r in workload.initial()})
+    config_rows = [
+        ("models", "+".join(models)),
+        ("devices", f"{args.devices} ({cells} cell(s) x "
+                    f"{args.devices // cells if cells else 0})"),
+        ("batch policy", f"{args.batch_policy} (max_batch={args.max_batch}, "
+                         f"wait={args.max_wait_ms}ms)"),
+        ("routing", args.routing),
+        ("workload",
+         f"trace replay from {args.trace}" if args.trace else
+         "closed-loop" if args.closed_loop else
+         (f"diurnal @ peak {args.rate} req/s, trough {args.trough:g}x"
+          if args.diurnal else f"open-loop poisson @ {args.rate} req/s")),
+        ("duration (s)", args.duration),
+        ("admission max queue", args.max_queue),
+        ("SLO multiplier", args.slo_multiplier),
+        ("autoscale",
+         (f"interval={config.interval_s}s min_cells={config.min_cells} "
+          f"cooldown={config.cooldown_s}s "
+          f"${config.price_per_device_hour}/dev-h") if config else "off"),
+    ]
+    if args.dry_run:
+        print(render_table(("parameter", "value"), config_rows,
+                           title="serve --dry-run (no simulation)"))
+        return 0
+    if args.trace:
+        rate = 0.0
+    elif args.closed_loop:
+        workload = ClosedLoop(models, clients=args.clients,
+                              duration_s=args.duration,
+                              think_s=args.think_ms * 1e-3)
+        rate = 0.0
+    elif args.diurnal:
+        workload = DiurnalTrace(models, args.rate, args.duration,
+                                trough_fraction=args.trough)
+        rate = args.rate
+    else:
+        workload = OpenLoopPoisson(models, args.rate, args.duration)
+        rate = args.rate
+    if args.save_trace:
+        written = save_trace(workload, args.save_trace)
+        print(f"wrote {args.save_trace} ({written} requests)")
+    costs = ServiceCosts.resolve(models)
+    sim = ScaledFleetSimulator(
+        costs, devices=args.devices, cells=cells,
+        batch_policy=BatchPolicy(args.batch_policy, args.max_batch,
+                                 args.max_wait_ms),
+        admission=AdmissionPolicy(args.max_queue),
+        routing=args.routing,
+        slo_multiplier=args.slo_multiplier,
+        autoscale=config)
+    report = sim.run(workload, rate_rps=rate)
+    payload = sim.payload
+    problems = validate_fleet_scale_report(payload)
+    if problems:  # pragma: no cover - internal invariant
+        print("repro serve: invalid fleet-scale report:\n  "
+              + "\n  ".join(problems), file=sys.stderr)
+        return 1
+    print(report.table())
+    print(scale_table(payload))
+    if args.scale_out:
+        with open(args.scale_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.scale_out}")
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
@@ -1000,6 +1118,31 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S",
                        help="sampling interval in simulated seconds "
                             "(default: $REPRO_MONITOR_INTERVAL or 0.1)")
+    serve.add_argument("--scale", action="store_true",
+                       help="use the interned-record scaled core "
+                            "(1000+ devices; fault-free only)")
+    serve.add_argument("--cells", type=int, default=None, metavar="N",
+                       help="device cells for hierarchical routing "
+                            "(must divide --devices; default 1, or "
+                            "devices/25 under --autoscale)")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="scale cells out/in on SLO burn rate + queue "
+                            "depth (implies --scale; also "
+                            "REPRO_AUTOSCALE=1; =0 force-off)")
+    serve.add_argument("--scale-out", metavar="FILE",
+                       help="write the repro-fleet-scale-report-v1 JSON")
+    serve.add_argument("--diurnal", action="store_true",
+                       help="diurnal workload: cosine rate envelope with "
+                            "--rate as the peak (see DiurnalTrace)")
+    serve.add_argument("--trough", type=float, default=0.25,
+                       metavar="FRAC",
+                       help="diurnal trough rate as a fraction of peak")
+    serve.add_argument("--trace", metavar="FILE",
+                       help="replay a repro-request-trace-v1 JSON trace "
+                            "instead of generating arrivals")
+    serve.add_argument("--save-trace", metavar="FILE",
+                       help="write the generated workload as a "
+                            "repro-request-trace-v1 JSON trace")
 
     monitor = sub.add_parser(
         "monitor", help="replay a saved monitor report as a dashboard")

@@ -930,6 +930,94 @@ def monitoring_slo() -> Experiment:
               f"{len(control['monitor']['alerts'])} alert events")
 
 
+@experiment("fleet_scale")
+def fleet_scale() -> Experiment:
+    """Datacenter scale: the interned-record core + cell autoscaling.
+
+    No paper counterpart; the "paper" column carries the In-Datacenter
+    TPU framing from PAPERS.md: what matters at fleet scale is
+    tail-latency-bounded throughput per dollar under diurnal load, not
+    peak throughput.  Asserted shapes: the scaled core is bit-identical
+    to the legacy fleet at small scale with autoscaling off, the
+    autoscaler reacts to a diurnal day (scale-outs on the crest,
+    scale-ins in the trough), and the autoscaled fleet strictly beats a
+    static peak-sized fleet on bounded-throughput per dollar while
+    keeping p99 inside the SLO.
+    """
+    from ..serving import (
+        AutoscaleConfig,
+        DiurnalTrace,
+        FleetSimulator,
+        OpenLoopPoisson,
+        ScaledFleetSimulator,
+        ServiceCosts,
+        tail_bounded_throughput,
+    )
+
+    costs = ServiceCosts.resolve(["bert", "resnet50"])
+    models = ("bert", "resnet50")
+
+    # 1. Bit-identity: same workload through both cores, byte-compared.
+    legacy = FleetSimulator(costs, devices=4).run(
+        OpenLoopPoisson(models, 60.0, 4.0), rate_rps=60.0)
+    scaled = ScaledFleetSimulator(costs, devices=4).run(
+        OpenLoopPoisson(models, 60.0, 4.0), rate_rps=60.0)
+    identical = legacy.to_json() == scaled.to_json()
+
+    # 2. One diurnal day, static peak fleet vs autoscaled fleet.
+    def day():
+        return DiurnalTrace(models, 2400.0, 8.0, trough_fraction=0.1)
+
+    static_sim = ScaledFleetSimulator(costs, devices=64, cells=8,
+                                      routing="round_robin")
+    static = static_sim.run(day(), rate_rps=2400.0)
+    auto_sim = ScaledFleetSimulator(
+        costs, devices=64, cells=8, routing="round_robin",
+        autoscale=AutoscaleConfig(interval_s=0.1, min_cells=2,
+                                  cooldown_s=1.0, queue_high=1.0,
+                                  queue_low=0.2))
+    auto = auto_sim.run(day(), rate_rps=2400.0)
+    static_pay, auto_pay = static_sim.payload, auto_sim.payload
+    actions = [e["action"] for e in auto_pay["autoscale_events"]]
+    per_dollar = auto_pay["slo"]["bounded_throughput_per_dollar"]
+    static_per_dollar = static_pay["slo"]["bounded_throughput_per_dollar"]
+
+    summary = {
+        "scaled_core_bit_identical_to_legacy": (True, identical),
+        "autoscaler_scales_out_on_crest": (True, "scale-out" in actions),
+        "autoscaler_scales_in_on_trough": (True, "scale-in" in actions),
+        "autoscaled_beats_static_per_dollar": (
+            True, per_dollar > static_per_dollar),
+        "autoscaled_p99_within_slo_ms": (
+            round(min(auto.slo_ms.values()), 2), round(auto.p99_ms, 2)),
+        "cost_savings_fraction": (
+            ">0", round(auto_pay["cost"]["savings_fraction"], 3)),
+    }
+    rows = [
+        ("static 64-dev", f"{static.throughput_rps:.0f}",
+         f"{static.p99_ms:.1f}",
+         f"{tail_bounded_throughput(static):.0f}",
+         f"{static_pay['cost']['dollars']:.4f}",
+         f"{static_per_dollar:.0f}"),
+        ("autoscaled", f"{auto.throughput_rps:.0f}", f"{auto.p99_ms:.1f}",
+         f"{tail_bounded_throughput(auto):.0f}",
+         f"{auto_pay['cost']['dollars']:.4f}", f"{per_dollar:.0f}"),
+    ]
+    return Experiment(
+        id="fleet_scale",
+        title="Fleet scale: bounded throughput per dollar, diurnal day",
+        summary=summary,
+        table=render_table(
+            ("fleet", "thr (req/s)", "p99 (ms)", "bounded thr",
+             "cost ($)", "bounded/$"),
+            rows, title="one diurnal day, 64 devices in 8 cells"),
+        notes=f"{actions.count('scale-out')} scale-outs, "
+              f"{actions.count('scale-in')} scale-ins, "
+              f"{actions.count('park')} parks over the day; "
+              f"autoscale-off run bit-identical to legacy fleet: "
+              f"{identical}")
+
+
 @experiment("fig26")
 def fig26_area() -> Experiment:
     """Fig. 26: Tandem Processor area breakdown."""

@@ -7,8 +7,21 @@ a routed device fleet (:mod:`~repro.serving.fleet`), SLO metrics
 (:mod:`~repro.serving.metrics`) and the ``serving_sweep`` grid
 (:mod:`~repro.serving.sweep`). Entry points: ``python -m repro serve``
 and the ``serving_sweep`` harness experiment.
+
+Datacenter scale lives in :mod:`~repro.serving.scale` (interned-record
+event core, 1000+ devices, cell routing) and
+:mod:`~repro.serving.autoscale` (burn-rate/queue-depth cell
+autoscaling with a $/device-hour cost model); see
+``docs/operations.md`` for the capacity-planning guide.
 """
 
+from .autoscale import (
+    AUTOSCALE_ACTIONS,
+    AutoscaleConfig,
+    AutoscaleController,
+    CostModel,
+    autoscaling_enabled,
+)
 from .continuous import (
     DEFAULT_LLM_SLO_MULTIPLIER,
     LLM_SCHEDULERS,
@@ -46,6 +59,15 @@ from .monitor import (
     run_monitor_point,
     validate_monitor_report,
 )
+from .scale import (
+    SCALE_SCHEMA,
+    ScaledFleetSimulator,
+    ScalePoint,
+    run_scale_point,
+    scale_table,
+    tail_bounded_throughput,
+    validate_fleet_scale_report,
+)
 from .scheduler import (
     BATCH_POLICIES,
     RESILIENCE_POLICIES,
@@ -69,26 +91,37 @@ from .sweep import (
     sweep_table,
 )
 from .workload import (
+    TRACE_SCHEMA,
     ClosedLoop,
+    DiurnalTrace,
     OpenLoopPoisson,
     Request,
     TraceReplay,
     Workload,
+    load_trace,
+    save_trace,
     zoo_mix_trace,
 )
 
 __all__ = [
+    "AUTOSCALE_ACTIONS",
     "BATCH_POLICIES",
     "DEFAULT_LLM_SLO_MULTIPLIER",
     "DEFAULT_SLO_MULTIPLIER",
     "LLM_SCHEDULERS",
     "RESILIENCE_POLICIES",
     "ROUTING_POLICIES",
+    "SCALE_SCHEMA",
+    "TRACE_SCHEMA",
     "AdmissionPolicy",
+    "AutoscaleConfig",
+    "AutoscaleController",
     "BatchPolicy",
     "ClosedLoop",
     "ContinuousBatcher",
+    "CostModel",
     "DeviceState",
+    "DiurnalTrace",
     "FleetSimulator",
     "FleetMonitor",
     "LLMMonitor",
@@ -106,12 +139,15 @@ __all__ = [
     "Request",
     "ResiliencePolicy",
     "Router",
+    "ScalePoint",
+    "ScaledFleetSimulator",
     "ServiceCosts",
     "ServingReport",
     "SweepPoint",
     "TraceReplay",
     "Wait",
     "Workload",
+    "autoscaling_enabled",
     "default_kv_budget",
     "default_max_slots",
     "llm_poisson_requests",
@@ -121,14 +157,20 @@ __all__ = [
     "by_config",
     "default_grid",
     "knee_sharpness",
+    "load_trace",
     "max_throughput_at_slo",
     "percentile",
     "plan_batch",
     "run_monitor_point",
     "run_point",
+    "run_scale_point",
     "run_sweep",
+    "save_trace",
+    "scale_table",
     "simulate",
     "sweep_table",
+    "tail_bounded_throughput",
+    "validate_fleet_scale_report",
     "validate_monitor_report",
     "zoo_mix_trace",
 ]

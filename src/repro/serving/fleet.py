@@ -34,6 +34,12 @@ every mechanism off — the pre-fault fleet, kept as the chaos baseline.
 Everything is deterministic: the event heap breaks time ties by
 insertion order, and no wall clock or unseeded RNG is consulted — the
 same workload and plan always produce byte-identical reports.
+
+This core is the *semantics reference*. For 1000-device fleets use
+:class:`~repro.serving.scale.ScaledFleetSimulator`, which replays the
+exact fault-free event order through interned request records (pinned
+bit-identical to this core at ``cells=1`` by ``tests/test_scale.py``);
+chaos and resilience runs stay here.
 """
 
 from __future__ import annotations

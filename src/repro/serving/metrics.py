@@ -86,14 +86,22 @@ class ServingReport:
     slo_attainment: float = 0.0
 
     def as_dict(self) -> Dict:
+        """Plain-dict form (models tuple flattened to a list)."""
         payload = dataclasses.asdict(self)
         payload["models"] = list(self.models)
         return payload
 
     def to_json(self) -> str:
+        """Canonical JSON: sorted keys + trailing newline.
+
+        Byte-equality of two reports' ``to_json`` output is the
+        bit-identity oracle used by the determinism and legacy-vs-scaled
+        tests — any float that differs in the last ulp shows up here.
+        """
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
 
     def table(self) -> str:
+        """Fixed-width metric/value table for the CLI."""
         from ..harness.report import render_table
         slo = ", ".join(f"{m} {ms:.2f}ms" for m, ms in self.slo_ms.items())
 
@@ -189,12 +197,15 @@ class LLMServingReport:
     itl_p99_ms: float = 0.0
 
     def as_dict(self) -> Dict:
+        """Plain-dict form for JSON export."""
         return dataclasses.asdict(self)
 
     def to_json(self) -> str:
+        """Canonical JSON: sorted keys + trailing newline."""
         return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
 
     def table(self) -> str:
+        """Fixed-width metric/value table for the CLI."""
         from ..harness.report import render_table
         rows = [
             ("scheduler", self.scheduler),
@@ -230,6 +241,7 @@ class MetricsCollector:
     def __init__(self, costs: ServiceCosts,
                  slo_multiplier: float = DEFAULT_SLO_MULTIPLIER,
                  min_slo_s: float = DEFAULT_MIN_SLO_S):
+        """Derive per-model SLO targets; zero all counters."""
         self.costs = costs
         self.slo_multiplier = slo_multiplier
         self.slo_s = {m: max(min_slo_s,
@@ -255,11 +267,13 @@ class MetricsCollector:
         self.last_finish_s = 0.0
 
     def note_arrival(self, fleet_queue_depth: int) -> None:
+        """One offered request, sampling fleet queue depth at arrival."""
         self.offered += 1
         self.queue_samples.append(fleet_queue_depth)
         self.max_queue = max(self.max_queue, fleet_queue_depth)
 
     def note_reject(self, request: Request, now_s: float) -> None:
+        """Admission-control shed: the queue was full."""
         self.rejected += 1
 
     def note_verify_reject(self, request: Request, now_s: float) -> None:
@@ -272,6 +286,7 @@ class MetricsCollector:
         self.verify_rejected += 1
 
     def note_batch(self, size: int) -> None:
+        """One launched batch of ``size`` requests."""
         self.batches.append(size)
 
     def note_complete(self, request: Request, finish_s: float,
@@ -299,12 +314,20 @@ class MetricsCollector:
         self.failed += 1
 
     def note_fault(self, kind: str, count: int = 1) -> None:
+        """Tally an injected fault by kind (chaos runs only)."""
         self.faults[kind] = self.faults.get(kind, 0) + count
 
     def report(self, *, models: Tuple[str, ...], devices: int,
                batch_policy: str, max_batch: int, max_wait_ms: float,
                routing: str, rate_rps: float, duration_s: float,
                busy_s: List[float]) -> ServingReport:
+        """Reduce the accumulated counters to a :class:`ServingReport`.
+
+        All rates normalize against ``max(last_finish, duration)`` so
+        runs that drain past the traffic horizon are not flattered; the
+        scaled core (:mod:`repro.serving.scale`) replicates this
+        arithmetic term for term to stay bit-identical.
+        """
         latencies = sorted(self.latencies_ms)
         completed = len(latencies)
         makespan = max(self.last_finish_s, duration_s)

@@ -81,7 +81,13 @@ def monitoring_enabled(flag: bool = False) -> bool:
     return bool(flag) or raw == "1"
 
 
-def _env_float(name: str, default: float) -> float:
+def env_float(name: str, default: float) -> float:
+    """A float environment knob, falling back on unset/garbage values.
+
+    Shared by the monitor's ``REPRO_MONITOR_*`` and the autoscaler's
+    ``REPRO_AUTOSCALE_*`` configuration surfaces so every knob parses
+    (and fails soft) the same way.
+    """
     raw = os.environ.get(name, "").strip()
     try:
         return float(raw)
@@ -89,12 +95,18 @@ def _env_float(name: str, default: float) -> float:
         return default
 
 
-def _env_int(name: str, default: int) -> int:
+def env_int(name: str, default: int) -> int:
+    """An integer environment knob; see :func:`env_float`."""
     raw = os.environ.get(name, "").strip()
     try:
         return int(raw)
     except ValueError:
         return default
+
+
+# Historical private names, kept for in-repo callers.
+_env_float = env_float
+_env_int = env_int
 
 
 @dataclass(frozen=True)

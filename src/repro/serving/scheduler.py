@@ -140,6 +140,11 @@ def plan_batch(queue: Sequence[Request], now_s: float,
     (``full`` batch, ``single``/``greedy`` policy, or the ``deadline``
     of a dynamic hold) — the decision itself is unaffected, so
     monitored and unmonitored fleets batch identically.
+
+    The scaled core (:mod:`repro.serving.scale`) inlines this decision
+    rule over its slot arrays instead of calling it; the bit-identity
+    tests in ``tests/test_scale.py`` pin the two implementations to the
+    same behaviour, so changes here must be mirrored there.
     """
     if not queue:
         return None

@@ -12,6 +12,14 @@ shared ``REPRO_SEED`` discipline (:mod:`repro.runtime.seed`):
 * :class:`TraceReplay` — replays an explicit ``(arrival_s, model)``
   trace, e.g. a recorded mix over the 7 zoo entries
   (:func:`zoo_mix_trace`).
+* :class:`DiurnalTrace` — a day-cycle trace with a cosine rate envelope
+  between a trough and a peak, plus optional square-wave bursts; the
+  datacenter-scale workload the autoscaler is evaluated against.
+
+Traces round-trip through JSON (:func:`save_trace` /
+:func:`load_trace`, schema ``repro-request-trace-v1``) so a generated
+diurnal day can be replayed byte-identically by ``repro serve
+--trace``.
 
 The simulator drives a workload through two hooks: :meth:`initial`
 yields the requests known up front, and :meth:`on_complete` lets
@@ -20,10 +28,15 @@ closed-loop clients react to their own completions.
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass, replace
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..runtime import seeded_rng
+
+#: Schema tag for serialized request traces.
+TRACE_SCHEMA = "repro-request-trace-v1"
 
 
 @dataclass(frozen=True)
@@ -135,3 +148,96 @@ def zoo_mix_trace(models: Sequence[str], rate_rps: float,
     """A canned Poisson trace over a model mix, as a replayable trace."""
     source = OpenLoopPoisson(models, rate_rps, duration_s, stream=stream)
     return TraceReplay((r.arrival_s, r.model) for r in source.initial())
+
+
+class DiurnalTrace(TraceReplay):
+    """Diurnal load: a cosine rate envelope between trough and peak.
+
+    Arrivals are generated by seeded thinning: Poisson candidates at
+    ``peak_rps`` are accepted with probability ``trough_fraction +
+    (1 - trough_fraction) * 0.5 * (1 - cos(2*pi*t / period_s))`` — the
+    instantaneous rate starts at the trough, crests at ``peak_rps``
+    mid-period, and returns to the trough, like a compressed day of
+    datacenter traffic.  Optional square-wave *bursts* (every
+    ``burst_every_s``, lasting ``burst_len_s``) force acceptance to 1,
+    modelling flash crowds the autoscaler must absorb.  The trace is a
+    pure function of ``(REPRO_SEED, models, peak_rps, duration_s,
+    trough_fraction, period_s, burst_every_s, burst_len_s, stream)``.
+    """
+
+    def __init__(self, models: Sequence[str], peak_rps: float,
+                 duration_s: float, trough_fraction: float = 0.25,
+                 period_s: Optional[float] = None,
+                 burst_every_s: float = 0.0, burst_len_s: float = 0.0,
+                 stream: object = 0):
+        if peak_rps <= 0:
+            raise ValueError(f"peak_rps must be positive, got {peak_rps}")
+        if not 0.0 <= trough_fraction <= 1.0:
+            raise ValueError(f"trough_fraction must be in [0, 1], "
+                             f"got {trough_fraction}")
+        self.models = tuple(models)
+        self.peak_rps = float(peak_rps)
+        self.trough_fraction = float(trough_fraction)
+        self.period_s = float(period_s) if period_s else float(duration_s)
+        self.burst_every_s = float(burst_every_s)
+        self.burst_len_s = float(burst_len_s)
+        rng = seeded_rng("diurnal", self.models, self.peak_rps,
+                         float(duration_s), self.trough_fraction,
+                         self.period_s, self.burst_every_s,
+                         self.burst_len_s, stream)
+        two_pi = 2.0 * math.pi
+        entries: List[Tuple[float, str]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.peak_rps))
+            if t >= duration_s:
+                break
+            in_burst = (self.burst_every_s > 0.0
+                        and t % self.burst_every_s < self.burst_len_s)
+            accept = 1.0 if in_burst else (
+                self.trough_fraction + (1.0 - self.trough_fraction)
+                * 0.5 * (1.0 - math.cos(two_pi * t / self.period_s)))
+            if float(rng.random()) >= accept:
+                continue
+            model = self.models[int(rng.integers(len(self.models)))]
+            entries.append((t, model))
+        super().__init__(entries)
+        # The envelope's horizon, not the last accepted arrival: the
+        # quiet tail after the final request is part of the day (and is
+        # where the autoscaler earns its cost savings).
+        self.duration_s = float(duration_s)
+
+
+def save_trace(workload: Workload, path: str) -> int:
+    """Serialize a workload's initial arrivals as a JSON trace file.
+
+    Returns the number of requests written.  The file round-trips
+    through :func:`load_trace` into a :class:`TraceReplay` that yields
+    the identical arrival sequence.
+    """
+    requests = workload.initial()
+    payload = {
+        "schema": TRACE_SCHEMA,
+        "duration_s": workload.duration_s,
+        "requests": [[r.arrival_s, r.model] for r in requests],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(requests)
+
+
+def load_trace(path: str) -> TraceReplay:
+    """Load a ``repro-request-trace-v1`` JSON file as a trace replay."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    schema = payload.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(f"{path}: schema {schema!r}, "
+                         f"expected {TRACE_SCHEMA!r}")
+    entries = [(float(t), str(model)) for t, model in payload["requests"]]
+    trace = TraceReplay(entries)
+    duration = payload.get("duration_s")
+    if isinstance(duration, (int, float)) and duration > trace.duration_s:
+        trace.duration_s = float(duration)
+    return trace

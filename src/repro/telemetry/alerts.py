@@ -122,6 +122,19 @@ class AlertEngine:
         """Names of the rules currently firing, in rule order."""
         return [s.rule.name for s in self._states if s.firing]
 
+    def firing_severities(self) -> List[str]:
+        """Severities with at least one firing rule, in rule order.
+
+        Deduplicated, so a consumer reacting per severity class (the
+        autoscaler scales out on *any* firing severity but reports the
+        loudest) gets a stable, deterministic list.
+        """
+        out: List[str] = []
+        for state in self._states:
+            if state.firing and state.rule.severity not in out:
+                out.append(state.rule.severity)
+        return out
+
     def _window_burn(self, n_intervals: int) -> float:
         k = self.intervals
         start = max(0, k - n_intervals)
